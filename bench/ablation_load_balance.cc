@@ -1,0 +1,91 @@
+// Ablation: cost-aware load balancing (Sec V-C step 2, "with the help
+// from the load balancer").
+//
+// The paper's evaluation is perfectly uniform, so its geometric block
+// partition is optimal by construction. This bench gives the advection
+// app a "heavy" region around the pulse (mimicking locally iterating
+// physics) and compares block placement against cost-weighted contiguous
+// chunks, in two regimes:
+//
+//   * moderately heavy (8x): the extra kernel time still hides under the
+//     per-patch MPE work in async mode, so "fixing" the kernel imbalance
+//     only unbalances the serial MPE work — cost balancing LOSES;
+//   * very heavy (64x): kernels dominate the step, kernel imbalance is
+//     exposed, and cost balancing wins by the textbook argument.
+//
+// The crossover is a direct consequence of the asynchronous scheduler:
+// offloaded kernel imbalance is free until it exceeds the MPE work it
+// overlaps with.
+
+#include <iostream>
+
+#include "apps/advect/advect_app.h"
+#include "grid/partition.h"
+#include "runtime/controller.h"
+#include "support/table.h"
+
+namespace {
+
+/// Steady-state step wall: the first step carries the init transient
+/// (initialization cost is itself proportional to patches per rank).
+usw::TimePs steady_wall(const usw::runtime::RunResult& r) {
+  usw::TimePs total = 0;
+  for (int s = 1; s < r.timesteps; ++s) total += r.step_wall(s);
+  return total / (r.timesteps - 1);
+}
+
+}  // namespace
+
+int main() {
+  using namespace usw;
+  const runtime::ProblemSpec problem = runtime::problem_by_name("32x32x512");
+  const grid::Level level(problem.patch_layout, problem.patch_size);
+
+  for (const double hf : {8.0, 64.0}) {
+    apps::advect::AdvectApp::Config app_cfg;
+    app_cfg.heavy_factor = hf;
+    apps::advect::AdvectApp app(app_cfg);
+    std::vector<double> costs;
+    for (const grid::Patch& p : level.patches())
+      costs.push_back(app.patch_cost(level, p));
+
+    TextTable table("Ablation: load balance, " + TextTable::num(hf, 0) +
+                    "x heavy pulse region, advect 32x32x512, acc.async");
+    table.set_header({"CGs", "block wall", "block imbal", "cost-balanced wall",
+                      "cb imbal", "speedup"});
+    for (int cgs : {8, 16, 32}) {
+      runtime::RunConfig cfg;
+      cfg.problem = problem;
+      cfg.variant = runtime::variant_by_name("acc.async");
+      cfg.nranks = cgs;
+      cfg.timesteps = 5;
+      cfg.storage = var::StorageMode::kTimingOnly;
+
+      cfg.partition = grid::PartitionPolicy::kBlock;
+      const TimePs block = steady_wall(runtime::run_simulation(cfg, app));
+      const double block_imbal =
+          grid::Partition(level, cgs, grid::PartitionPolicy::kBlock, costs)
+              .imbalance(costs);
+
+      cfg.partition = grid::PartitionPolicy::kCostBalanced;
+      const TimePs balanced = steady_wall(runtime::run_simulation(cfg, app));
+      const double cb_imbal =
+          grid::Partition(level, cgs, grid::PartitionPolicy::kCostBalanced, costs)
+              .imbalance(costs);
+
+      table.add_row({std::to_string(cgs), format_duration(block),
+                     TextTable::num(block_imbal, 2), format_duration(balanced),
+                     TextTable::num(cb_imbal, 2),
+                     TextTable::num(static_cast<double>(block) /
+                                        static_cast<double>(balanced), 2) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Uniform workloads make the two policies equivalent, which is\n"
+               "why the paper never needed more than the geometric\n"
+               "decomposition; under mild imbalance the async scheduler hides\n"
+               "extra kernel time anyway, and only strongly kernel-dominated\n"
+               "imbalance rewards cost-aware placement.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation: sensitivity of the async-over-sync gain to the two calibrated
+// MPE-side costs the result hinges on — the per-task management overhead
+// and the reduction scan rate. This makes the calibration transparent: the
+// async win is *emergent* from having MPE work to hide, not hard-coded.
+
+#include <iostream>
+
+#include "apps/burgers/burgers_app.h"
+#include "runtime/controller.h"
+#include "support/table.h"
+
+namespace {
+
+double async_gain(const usw::hw::MachineParams& machine) {
+  using namespace usw;
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::problem_by_name("32x32x512");
+  cfg.nranks = 8;
+  cfg.timesteps = 5;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  cfg.machine = machine;
+  apps::burgers::BurgersApp app;
+  cfg.variant = runtime::variant_by_name("acc.sync");
+  const TimePs sync = runtime::run_simulation(cfg, app).mean_step_wall();
+  cfg.variant = runtime::variant_by_name("acc.async");
+  const TimePs async = runtime::run_simulation(cfg, app).mean_step_wall();
+  return static_cast<double>(sync - async) / static_cast<double>(async);
+}
+
+}  // namespace
+
+int main() {
+  using namespace usw;
+
+  TextTable t1("Ablation: async gain vs MPE per-task overhead (32x32x512, 8 CGs)");
+  t1.set_header({"mpe_task_overhead", "async gain"});
+  for (const TimePs overhead :
+       {TimePs{0}, 50 * kMicrosecond, 150 * kMicrosecond, 500 * kMicrosecond,
+        1500 * kMicrosecond}) {
+    hw::MachineParams m = hw::MachineParams::sunway_taihulight();
+    m.mpe_task_overhead = overhead;
+    t1.add_row({format_duration(overhead), TextTable::pct(async_gain(m))});
+  }
+  t1.print(std::cout);
+  std::cout << '\n';
+
+  TextTable t2("Ablation: async gain vs completion-flag poll cost");
+  t2.set_header({"flag_poll", "async gain"});
+  for (const TimePs poll : {TimePs{0}, 2 * kMicrosecond, 20 * kMicrosecond,
+                            200 * kMicrosecond}) {
+    hw::MachineParams m = hw::MachineParams::sunway_taihulight();
+    m.flag_poll = poll;
+    t2.add_row({format_duration(poll), TextTable::pct(async_gain(m))});
+  }
+  t2.print(std::cout);
+  std::cout << "\nThe async gain grows with the MPE work available to hide; the\n"
+               "residual gain at zero per-task overhead comes from overlapping\n"
+               "the reduction scans, boundary fills, and ghost packing that\n"
+               "remain on the MPE.\n";
+  return 0;
+}

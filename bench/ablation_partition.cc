@@ -1,0 +1,45 @@
+// Ablation: patch-to-rank assignment (the load balancer's geometric policy,
+// Sec V-C step 2).
+//
+// Block partitioning gives each rank a contiguous brick of patches (few
+// remote faces); round-robin scatters patches maximally (every face
+// remote). The gap between the two quantifies how much the evaluation's
+// results depend on a communication-minimizing load balancer.
+
+#include <iostream>
+
+#include "apps/burgers/burgers_app.h"
+#include "runtime/controller.h"
+#include "support/table.h"
+
+int main() {
+  using namespace usw;
+
+  TextTable table("Ablation: block vs round-robin partition, 32x32x512, acc.async");
+  table.set_header({"CGs", "block wall", "round-robin wall", "slowdown",
+                    "block MB sent", "rr MB sent"});
+  for (int cgs : {4, 16, 64}) {
+    runtime::RunConfig cfg;
+    cfg.problem = runtime::problem_by_name("32x32x512");
+    cfg.variant = runtime::variant_by_name("acc.async");
+    cfg.nranks = cgs;
+    cfg.timesteps = 5;
+    cfg.storage = var::StorageMode::kTimingOnly;
+    apps::burgers::BurgersApp app;
+
+    cfg.partition = grid::PartitionPolicy::kBlock;
+    const auto block = runtime::run_simulation(cfg, app);
+    cfg.partition = grid::PartitionPolicy::kRoundRobin;
+    const auto rr = runtime::run_simulation(cfg, app);
+
+    table.add_row(
+        {std::to_string(cgs), format_duration(block.mean_step_wall()),
+         format_duration(rr.mean_step_wall()),
+         TextTable::num(static_cast<double>(rr.mean_step_wall()) /
+                            static_cast<double>(block.mean_step_wall()), 2) + "x",
+         TextTable::num(static_cast<double>(block.merged_counters().bytes_sent) / 1e6, 1),
+         TextTable::num(static_cast<double>(rr.merged_counters().bytes_sent) / 1e6, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: ready-task selection order (Sec V-C 3(b)ii says "select a
+// ready offloadable task" without fixing the order).
+//
+// kGraphOrder picks tasks in compiled order; kRemoteFeedsFirst prioritizes
+// tasks whose outputs feed remote ranks, so their halo messages enter the
+// network as early as possible — a standard AMT-scheduler refinement.
+
+#include <iostream>
+
+#include "apps/burgers/burgers_app.h"
+#include "apps/heat/heat_app.h"
+#include "runtime/controller.h"
+#include "support/table.h"
+
+namespace {
+
+void policy_table(const std::string& title, const usw::runtime::Application& app,
+                  const usw::runtime::ProblemSpec& problem) {
+  using namespace usw;
+  TextTable table(title);
+  table.set_header({"CGs", "graph order", "remote-feeds-first", "speedup"});
+  for (int cgs : {4, 16, 64}) {
+    runtime::RunConfig cfg;
+    cfg.problem = problem;
+    cfg.variant = runtime::variant_by_name("acc.async");
+    cfg.nranks = cgs;
+    cfg.timesteps = 5;
+    cfg.storage = var::StorageMode::kTimingOnly;
+
+    cfg.selection = sched::SelectionPolicy::kGraphOrder;
+    const TimePs in_order = runtime::run_simulation(cfg, app).mean_step_wall();
+    cfg.selection = sched::SelectionPolicy::kRemoteFeedsFirst;
+    const TimePs remote_first = runtime::run_simulation(cfg, app).mean_step_wall();
+
+    table.add_row({std::to_string(cgs), format_duration(in_order),
+                   format_duration(remote_first),
+                   TextTable::num(static_cast<double>(in_order) /
+                                      static_cast<double>(remote_first), 3) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  using namespace usw;
+
+  apps::burgers::BurgersApp burgers;
+  policy_table("Ablation: selection policy, Burgers 32x32x512, acc.async",
+               burgers, runtime::problem_by_name("32x32x512"));
+
+  apps::heat::HeatApp::Config heat_cfg;
+  heat_cfg.stages = 2;  // same-step halo shipping gives the policy leverage
+  apps::heat::HeatApp heat(heat_cfg);
+  policy_table("Ablation: selection policy, 2-stage heat 32x32x512, acc.async",
+               heat, runtime::problem_by_name("32x32x512"));
+
+  std::cout << "A measured null result, twice over: Burgers has no same-step\n"
+               "sends at all (its halo traffic ships at step start), and even\n"
+               "the two-stage heat graph — which does ship stage-1 halos\n"
+               "mid-step — is insensitive because the halo-feeding tasks\n"
+               "already sort first in graph order and kernels, not messages,\n"
+               "bound the step. The paper's unspecified selection order\n"
+               "(Sec V-C 3(b)ii) is therefore immaterial for its workload.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation: LDM tile shape (Sec VI-A's design choice).
+//
+// The paper picks 16x16x8 (~41 KB working set of the 64 KB LDM). This
+// bench sweeps alternative shapes on one problem and shows the trade-off
+// the choice balances: ghost-cell overhead per tile (favors large tiles),
+// per-tile DMA/loop overhead (favors fewer tiles), and CPE utilization via
+// the z-slab assignment (needs >= 64 z-slabs to fill the cluster). Shapes
+// whose working set exceeds the LDM are reported as rejected — the same
+// failure the hardware would produce.
+
+#include <iostream>
+
+#include "apps/burgers/burgers_app.h"
+#include "grid/tiling.h"
+#include "runtime/controller.h"
+#include "support/table.h"
+
+int main() {
+  using namespace usw;
+  const std::vector<grid::IntVec> shapes = {
+      {16, 16, 8}, {16, 16, 4}, {8, 8, 8},   {32, 32, 2}, {8, 8, 4},
+      {16, 8, 8},  {32, 16, 4}, {4, 4, 128}, {16, 16, 16},
+  };
+
+  TextTable table("Ablation: LDM tile shape, problem 32x32x512, 8 CGs, acc.async");
+  table.set_header({"tile", "working set", "tiles/patch", "z-slabs",
+                    "step wall", "vs 16x16x8"});
+  TimePs baseline = 0;
+  for (const grid::IntVec& shape : shapes) {
+    const std::uint64_t ws = grid::Tiling::working_set_bytes(shape, 1, 8, 1, 1);
+    std::vector<std::string> row = {shape.to_string(), format_bytes(ws)};
+    if (ws > 64 * 1024) {
+      row.insert(row.end(), {"-", "-", "rejected: exceeds 64 KiB LDM", "-"});
+      table.add_row(std::move(row));
+      continue;
+    }
+    runtime::RunConfig cfg;
+    cfg.problem = runtime::problem_by_name("32x32x512");
+    cfg.variant = runtime::variant_by_name("acc.async");
+    cfg.nranks = 8;
+    cfg.timesteps = 5;
+    cfg.storage = var::StorageMode::kTimingOnly;
+    apps::burgers::BurgersApp::Config app_cfg;
+    app_cfg.tile_shape = shape;
+    apps::burgers::BurgersApp app(app_cfg);
+    const auto result = runtime::run_simulation(cfg, app);
+    const grid::Tiling tiling(
+        grid::Box{{0, 0, 0}, cfg.problem.patch_size}, shape);
+    const TimePs wall = result.mean_step_wall();
+    if (shape == grid::IntVec{16, 16, 8}) baseline = wall;
+    row.push_back(std::to_string(tiling.num_tiles()));
+    row.push_back(std::to_string(tiling.tile_grid().z));
+    row.push_back(format_duration(wall));
+    row.push_back(baseline > 0 ? TextTable::num(static_cast<double>(wall) /
+                                                    static_cast<double>(baseline), 2) + "x"
+                               : "?");
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "\nFor this compute-bound kernel any LDM-fitting shape with >= 64\n"
+               "z-slabs performs alike; shapes with few z-slabs (e.g. 4x4x128:\n"
+               "4 slabs) leave most of the 64 CPEs idle under the static\n"
+               "z-partition, and tall tiles simply do not fit the LDM.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Reproduces Figures 6-8: the performance boost of each porting step
+// (Sec VII-D) for the small (16x16x512), medium (32x64x512) and large
+// (128x128x512) problems: host.sync as the baseline, acc.async after
+// offloading kernels to the CPEs, acc_simd.async after vectorizing.
+//
+// Paper envelopes: offloading gives 2.7-6.0x, vectorization another
+// 1.3-2.2x, total 3.6-13.3x, with larger patches boosted more.
+
+#include <iostream>
+
+#include "runtime/problem.h"
+#include "runtime/variant.h"
+#include "support/table.h"
+#include "sweep.h"
+
+int main() {
+  using namespace usw;
+  bench::Sweep sweep;
+
+  const runtime::Variant host = runtime::variant_by_name("host.sync");
+  const runtime::Variant acc = runtime::variant_by_name("acc.async");
+  const runtime::Variant simd = runtime::variant_by_name("acc_simd.async");
+
+  double min_off = 1e30, max_off = 0, min_simd = 1e30, max_simd = 0,
+         min_tot = 1e30, max_tot = 0;
+  for (const std::string& name : {std::string("16x16x512"),
+                                  std::string("32x64x512"),
+                                  std::string("128x128x512")}) {
+    const runtime::ProblemSpec problem = runtime::problem_by_name(name);
+    TextTable table("Fig 6/7/8: optimization boost vs host.sync, problem " + name);
+    table.set_header({"CGs", "host.sync", "acc.async", "acc_simd.async",
+                      "offload boost", "simd boost", "total boost"});
+    for (int cgs : bench::Sweep::cg_counts(problem)) {
+      const auto& th = sweep.run(problem, host, cgs);
+      const auto& ta = sweep.run(problem, acc, cgs);
+      const auto& tv = sweep.run(problem, simd, cgs);
+      const double off = static_cast<double>(th.mean_step) / ta.mean_step;
+      const double sb = static_cast<double>(ta.mean_step) / tv.mean_step;
+      const double tot = static_cast<double>(th.mean_step) / tv.mean_step;
+      min_off = std::min(min_off, off);
+      max_off = std::max(max_off, off);
+      min_simd = std::min(min_simd, sb);
+      max_simd = std::max(max_simd, sb);
+      min_tot = std::min(min_tot, tot);
+      max_tot = std::max(max_tot, tot);
+      table.add_row({std::to_string(cgs), format_duration(th.mean_step),
+                     format_duration(ta.mean_step), format_duration(tv.mean_step),
+                     TextTable::num(off, 2) + "x", TextTable::num(sb, 2) + "x",
+                     TextTable::num(tot, 2) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "offload boost range: " << TextTable::num(min_off, 2) << "x - "
+            << TextTable::num(max_off, 2) << "x (paper: 2.7x - 6.0x)\n"
+            << "simd boost range:    " << TextTable::num(min_simd, 2) << "x - "
+            << TextTable::num(max_simd, 2) << "x (paper: 1.3x - 2.2x)\n"
+            << "total boost range:   " << TextTable::num(min_tot, 2) << "x - "
+            << TextTable::num(max_tot, 2) << "x (paper: 3.6x - 13.3x)\n";
+  return 0;
+}

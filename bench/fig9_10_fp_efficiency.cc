@@ -1,0 +1,63 @@
+// Reproduces Figures 9 and 10: achieved floating-point performance
+// (Gflop/s, counted with the modeled CPE performance counters) and its
+// fraction of the theoretical peak of the running CGs, for the fastest
+// variant acc_simd.async.
+//
+// Paper headline numbers: 974.5 Gflop/s at 128 CGs on the largest problem
+// (1.0% of peak); best efficiency 1.17% (64x64x512 at 2 CGs); larger
+// problems are more efficient.
+
+#include <iostream>
+
+#include "hw/machine_params.h"
+#include "runtime/problem.h"
+#include "runtime/variant.h"
+#include "support/table.h"
+#include "sweep.h"
+
+int main() {
+  using namespace usw;
+  bench::Sweep sweep;
+  const runtime::Variant simd = runtime::variant_by_name("acc_simd.async");
+  const double cg_peak = hw::MachineParams::sunway_taihulight().cg_peak_gflops();
+
+  TextTable gf("Fig 9: floating point performance (Gflop/s), acc_simd.async");
+  TextTable eff("Fig 10: floating point efficiency (% of peak), acc_simd.async");
+  std::vector<std::string> header = {"Problem"};
+  for (int n = 1; n <= 128; n *= 2) header.push_back(std::to_string(n));
+  gf.set_header(header);
+  eff.set_header(header);
+
+  double best_eff = 0.0;
+  std::string best_case;
+  for (const runtime::ProblemSpec& problem : runtime::paper_problems()) {
+    std::vector<std::string> grow = {problem.name};
+    std::vector<std::string> erow = {problem.name};
+    for (int n = 1; n <= 128; n *= 2) {
+      if (n < problem.min_cgs) {
+        grow.push_back("-");
+        erow.push_back("-");
+        continue;
+      }
+      const auto& res = sweep.run(problem, simd, n);
+      const double frac = res.gflops / (cg_peak * n);
+      if (frac > best_eff) {
+        best_eff = frac;
+        best_case = problem.name + " @ " + std::to_string(n) + " CGs";
+      }
+      grow.push_back(TextTable::num(res.gflops, 1));
+      erow.push_back(TextTable::pct(frac, 2));
+    }
+    gf.add_row(std::move(grow));
+    eff.add_row(std::move(erow));
+  }
+  gf.print(std::cout);
+  std::cout << '\n';
+  eff.print(std::cout);
+  std::cout << "\nbest efficiency: " << TextTable::pct(best_eff, 2) << " ("
+            << best_case << "); paper best: 1.17% (64x64x512 @ 2 CGs)\n";
+  const auto& big = sweep.run(runtime::problem_by_name("128x128x512"), simd, 128);
+  std::cout << "largest problem @ 128 CGs: " << TextTable::num(big.gflops, 1)
+            << " Gflop/s (paper: 974.5 Gflop/s, 1.0% of peak)\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Quantifies the paper's future-work proposals (Sec IX) in the model:
+//
+//   1. asynchronous LDM DMA — double-buffered tiles hide the memory-LDM
+//      transfer behind compute (needs 2x LDM buffers, forcing a smaller
+//      tile, so the gain is the net of the two effects);
+//   2. tile packing — contiguous transfers at the higher DMA efficiency;
+//   3. CPE groups — "group CPEs and schedule different patches to
+//      different groups, to enable both task and data parallelism on the
+//      CGs": the async scheduler keeps one kernel in flight per group.
+//
+// All on top of the fastest baseline, acc_simd.async.
+
+#include <iostream>
+
+#include "apps/burgers/burgers_app.h"
+#include "runtime/controller.h"
+#include "support/table.h"
+
+namespace {
+
+usw::TimePs run_case(const std::string& problem, int ranks, int groups,
+                     bool async_dma, bool packed,
+                     usw::grid::IntVec tile_shape) {
+  using namespace usw;
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::problem_by_name(problem);
+  cfg.variant = runtime::variant_by_name("acc_simd.async");
+  cfg.nranks = ranks;
+  cfg.timesteps = 5;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  cfg.cpe_groups = groups;
+  cfg.async_dma = async_dma;
+  cfg.packed_tiles = packed;
+  apps::burgers::BurgersApp::Config app_cfg;
+  app_cfg.tile_shape = tile_shape;
+  apps::burgers::BurgersApp app(app_cfg);
+  return runtime::run_simulation(cfg, app).mean_step_wall();
+}
+
+}  // namespace
+
+int main() {
+  using namespace usw;
+  const grid::IntVec full_tile{16, 16, 8};
+  // Double buffering needs two in/out buffer pairs in the 64 KB LDM, so
+  // the tile shrinks to 16x16x4 (2x(18*18*6 + 16*16*4) doubles = 47 KiB).
+  const grid::IntVec half_tile{16, 16, 4};
+
+  TextTable t1("Future work (Sec IX): DMA optimizations, acc_simd.async, 8 CGs");
+  t1.set_header({"problem", "baseline", "+packed tiles", "+async DMA (16x16x4)",
+                 "+both"});
+  for (const std::string& p :
+       {std::string("16x16x512"), std::string("128x128x512")}) {
+    const TimePs base = run_case(p, 8, 1, false, false, full_tile);
+    const TimePs packed = run_case(p, 8, 1, false, true, full_tile);
+    const TimePs dbuf = run_case(p, 8, 1, true, false, half_tile);
+    const TimePs both = run_case(p, 8, 1, true, true, half_tile);
+    auto rel = [base](TimePs t) {
+      return format_duration(t) + " (" +
+             TextTable::num(100.0 * (static_cast<double>(base - t)) /
+                                static_cast<double>(base), 1) + "% faster)";
+    };
+    t1.add_row({p, format_duration(base), rel(packed), rel(dbuf), rel(both)});
+  }
+  t1.print(std::cout);
+  std::cout << "\nThe Burgers kernel is compute-bound (~1% of peak), so hiding\n"
+               "or speeding the DMA moves the needle only slightly — the\n"
+               "quantified answer to the paper's speculation.\n\n";
+
+  TextTable t2("Future work (Sec IX): CPE groups, acc_simd.async");
+  t2.set_header({"problem", "CGs", "1 group", "2 groups", "4 groups", "8 groups"});
+  for (const auto& [p, ranks] : {std::pair<std::string, int>{"16x16x512", 1},
+                                 {"16x16x512", 32},
+                                 {"128x128x512", 8}}) {
+    std::vector<std::string> row = {p, std::to_string(ranks)};
+    const TimePs base = run_case(p, ranks, 1, false, false, full_tile);
+    row.push_back(format_duration(base));
+    for (int g : {2, 4, 8}) {
+      const TimePs t = run_case(p, ranks, g, false, false, full_tile);
+      row.push_back(format_duration(t) + " (" +
+                    TextTable::num(static_cast<double>(base) / static_cast<double>(t), 2) +
+                    "x)");
+    }
+    t2.add_row(std::move(row));
+  }
+  t2.print(std::cout);
+  std::cout << "\nGroups trade per-patch kernel speed (fewer CPEs each) for\n"
+               "cross-patch overlap of MPE work and completion detection. With\n"
+               "many patches per CG the overlap wins slightly; with few patches\n"
+               "per CG the stretched kernels and the end-of-step tail dominate\n"
+               "and grouping backfires — a useful negative result for the\n"
+               "paper's Sec IX proposal.\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Host-side microbenchmarks (Google Benchmark): the functional building
+// blocks that every simulated run executes for real. These measure *host*
+// throughput (how fast the simulator itself runs), complementing the
+// virtual-time benches that reproduce the paper's numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "apps/burgers/kernels.h"
+#include "apps/burgers/phi.h"
+#include "hw/ldm.h"
+#include "kern/fastexp.h"
+#include "sim/coordinator.h"
+#include "support/rng.h"
+#include "var/ccvariable.h"
+
+namespace {
+
+using namespace usw;
+
+kern::KernelEnv burgers_env() {
+  kern::KernelEnv env;
+  env.time = 0.05;
+  env.dt = 1e-4;
+  env.dx = env.dy = env.dz = 1.0 / 64;
+  return env;
+}
+
+void BM_BurgersKernelScalar(benchmark::State& state) {
+  const grid::Box region{{0, 0, 0}, {32, 32, 8}};
+  var::CCVariable<double> in(region.grown(1)), out(region);
+  SplitMix64 rng(1);
+  for (double& x : in.data()) x = rng.next_in(0.0, 1.0);
+  const kern::KernelVariants kv = apps::burgers::make_burgers_kernel(false);
+  const kern::KernelEnv env = burgers_env();
+  for (auto _ : state)
+    kv.scalar(env, kern::FieldView::of(in), kern::FieldView::of(out), region);
+  state.SetItemsProcessed(state.iterations() * region.volume());
+}
+BENCHMARK(BM_BurgersKernelScalar);
+
+void BM_BurgersKernelSimd(benchmark::State& state) {
+  const grid::Box region{{0, 0, 0}, {32, 32, 8}};
+  var::CCVariable<double> in(region.grown(1)), out(region);
+  SplitMix64 rng(1);
+  for (double& x : in.data()) x = rng.next_in(0.0, 1.0);
+  const kern::KernelVariants kv = apps::burgers::make_burgers_kernel(false);
+  const kern::KernelEnv env = burgers_env();
+  for (auto _ : state)
+    kv.simd(env, kern::FieldView::of(in), kern::FieldView::of(out), region);
+  state.SetItemsProcessed(state.iterations() * region.volume());
+}
+BENCHMARK(BM_BurgersKernelSimd);
+
+void BM_PhiFast(benchmark::State& state) {
+  SplitMix64 rng(2);
+  double x = rng.next_double();
+  double acc = 0;
+  for (auto _ : state) {
+    acc += apps::burgers::phi_fast(x, 0.1);
+    x += 1e-6;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PhiFast);
+
+void BM_ExpFast(benchmark::State& state) {
+  double x = -50.0;
+  double acc = 0;
+  for (auto _ : state) {
+    acc += kern::exp_fast(x);
+    x += 1e-5;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExpFast);
+
+void BM_ExpIeee(benchmark::State& state) {
+  double x = -50.0;
+  double acc = 0;
+  for (auto _ : state) {
+    acc += std::exp(x);
+    x += 1e-5;
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExpIeee);
+
+void BM_PackUnpack(benchmark::State& state) {
+  const grid::Box box{{0, 0, 0}, {64, 64, 64}};
+  var::CCVariable<double> src(box), dst(box);
+  const grid::Box region{{0, 0, 0}, {1, 64, 64}};  // x-face, worst stride
+  for (auto _ : state) {
+    auto bytes = src.pack(region);
+    dst.unpack(region, bytes);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(state.iterations() * region.volume() * 8);
+}
+BENCHMARK(BM_PackUnpack);
+
+void BM_LdmAllocReset(benchmark::State& state) {
+  hw::Ldm ldm(64 * 1024);
+  for (auto _ : state) {
+    ldm.reset();
+    auto a = ldm.alloc<double>(3240);
+    auto b = ldm.alloc<double>(2048);
+    benchmark::DoNotOptimize(a.data());
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_LdmAllocReset);
+
+void BM_CoordinatorHandoff(benchmark::State& state) {
+  // Cost of token handoffs between two simulated ranks: the dominant
+  // host-side overhead of the discrete-event simulation. Each run_ranks
+  // performs ~200 gates (plus thread setup/teardown).
+  for (auto _ : state) {
+    sim::run_ranks(2, [](sim::Coordinator& c, int r) {
+      for (int i = 0; i < 100; ++i) {
+        c.advance(r, 10);
+        c.gate(r);
+      }
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_CoordinatorHandoff);
+
+}  // namespace
+
+BENCHMARK_MAIN();

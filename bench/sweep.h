@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared sweep driver for the table/figure reproduction benches.
+//
+// Every evaluation bench runs the same experiment grid the paper does
+// (Sec VII-A): each Table III problem, from its smallest feasible CG count
+// up to 128 CGs in powers of two, for a chosen set of Table IV variants,
+// 10 timesteps each, in timing-only storage mode. Results are keyed by
+// (problem, variant, CGs) and shared within one binary.
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "runtime/controller.h"
+#include "support/units.h"
+
+namespace usw::bench {
+
+struct CaseKey {
+  std::string problem;
+  std::string variant;
+  int ranks = 0;
+
+  friend bool operator<(const CaseKey& a, const CaseKey& b) {
+    return std::tie(a.problem, a.variant, a.ranks) <
+           std::tie(b.problem, b.variant, b.ranks);
+  }
+};
+
+struct CaseResult {
+  TimePs mean_step = 0;       ///< wall time per timestep (slowest rank)
+  double gflops = 0.0;        ///< achieved, Fig 9's metric
+  double counted_flops = 0.0; ///< per run (10 steps)
+};
+
+class Sweep {
+ public:
+  explicit Sweep(int timesteps = 10) : timesteps_(timesteps) {}
+
+  /// Runs (or returns the cached) case.
+  const CaseResult& run(const runtime::ProblemSpec& problem,
+                        const runtime::Variant& variant, int ranks);
+
+  /// CG counts evaluated for a problem: min_cgs, then powers of two up to
+  /// 128 (Sec VII-A: "from the smallest possible number of CGs to 128").
+  static std::vector<int> cg_counts(const runtime::ProblemSpec& problem);
+
+  int timesteps() const { return timesteps_; }
+
+ private:
+  int timesteps_;
+  std::map<CaseKey, CaseResult> cache_;
+};
+
+/// Strong-scaling efficiency from n0 to n1 CGs: T(n0)*n0 / (T(n1)*n1).
+double scaling_efficiency(TimePs t0, int n0, TimePs t1, int n1);
+
+}  // namespace usw::bench

@@ -1,0 +1,48 @@
+// Reproduces Table I: floating-point operations per cell of the model
+// problem, measured with the (modeled) SW26010 performance counters for
+// one timestep of each Table III problem.
+//
+// The paper's "Total Cells" column equals (nx+2)(ny+2)(nz+2) — the grid
+// plus its boundary-ghost layer (e.g. 130*130*1026 = 17,339,400 for the
+// 128x128x1024 grid), which is why the reported FLOPs/cell rises from 299
+// to 311 with problem size: the kernel's per-interior-cell count is nearly
+// constant (~311, ~215 of it from the 6 exponentials), and the bookkeeping
+// denominator's ghost share shrinks.
+
+#include <iostream>
+
+#include "apps/burgers/kernels.h"
+#include "runtime/problem.h"
+#include "runtime/variant.h"
+#include "support/table.h"
+#include "sweep.h"
+
+int main() {
+  using namespace usw;
+  bench::Sweep sweep(/*timesteps=*/1);
+  const runtime::Variant simd = runtime::variant_by_name("acc_simd.async");
+
+  TextTable table("Table I: FLOP per cell for the model problem (1 timestep)");
+  table.set_header({"Problem Size", "Total Cells", "Total FLOPs", "FLOPs per Cell",
+                    "paper FLOPs/Cell"});
+  const std::vector<int> paper = {299, 302, 306, 308, 309, 310, 311};
+  std::size_t row = 0;
+  for (const runtime::ProblemSpec& problem : runtime::paper_problems()) {
+    const auto& res = sweep.run(problem, simd, problem.min_cgs);
+    const grid::IntVec g = problem.grid_size();
+    const double total_cells = static_cast<double>(g.x + 2) * (g.y + 2) * (g.z + 2);
+    table.add_row({problem.name, TextTable::num(total_cells, 0),
+                   TextTable::num(res.counted_flops, 0),
+                   TextTable::num(res.counted_flops / total_cells, 0),
+                   std::to_string(paper.at(row++))});
+  }
+  table.print(std::cout);
+
+  const hw::KernelCost kc = apps::burgers::burgers_kernel_cost();
+  std::cout << "\nkernel mix per interior cell: " << kc.flops_per_cell
+            << " flops + " << kc.divs_per_cell << " div + " << kc.exps_per_cell
+            << " exp (" << hw::KernelCost::kFlopsPerExp
+            << " counted flops each) = " << kc.counted_flops_per_cell()
+            << " counted flops (paper: ~311, 215 from exponentials)\n";
+  return 0;
+}

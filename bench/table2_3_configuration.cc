@@ -1,0 +1,42 @@
+// Prints Table II (machine parameters of the modeled Sunway TaihuLight)
+// and Table III (the evaluation problem settings).
+
+#include <iostream>
+
+#include "hw/machine_params.h"
+#include "runtime/problem.h"
+#include "support/table.h"
+#include "support/units.h"
+
+int main() {
+  using namespace usw;
+  const hw::MachineParams m = hw::MachineParams::sunway_taihulight();
+
+  TextTable t2("Table II: major system parameters (modeled)");
+  t2.set_header({"Item", "Description"});
+  t2.add_row({"Node architecture", "1 SW26010 processor (4 CGs, used as 4 nodes)"});
+  t2.add_row({"CG cores", "1 MPE + " + std::to_string(m.cpes_per_cg) + " CPEs"});
+  t2.add_row({"CG memory", format_bytes(m.cg_memory_bytes) + " (32 GB / 4 CGs)"});
+  t2.add_row({"CG performance",
+              TextTable::num(m.cg_peak_gflops(), 1) + " Gflop/s (MPE " +
+                  TextTable::num(m.mpe_peak_gflops, 1) + " + CPEs " +
+                  TextTable::num(m.cpe_cluster_peak_gflops, 1) + ")"});
+  t2.add_row({"CPE LDM", format_bytes(m.ldm_bytes) + " scratch pad per CPE"});
+  t2.add_row({"CG memory bandwidth",
+              TextTable::num(m.dram_bw_bytes_per_s / 1e9, 1) + " GB/s (128-bit DDR3-2133)"});
+  t2.add_row({"Interconnect latency", format_duration(m.net_latency) + " (hardware)"});
+  t2.add_row({"Interconnect bandwidth",
+              TextTable::num(m.net_bw_bytes_per_s / 1e9, 1) +
+                  " GB/s effective per CG (16 GB/s bidirectional per node)"});
+  t2.print(std::cout);
+  std::cout << '\n';
+
+  TextTable t3("Table III: problem settings in the evaluations");
+  t3.set_header({"Problem", "Patch Size", "Grid Size", "Mem", "Min CGs", "Patches"});
+  for (const runtime::ProblemSpec& p : runtime::paper_problems())
+    t3.add_row({p.name, p.patch_size.to_string(), p.grid_size().to_string(),
+                format_bytes(p.memory_bytes()), std::to_string(p.min_cgs),
+                std::to_string(p.num_patches())});
+  t3.print(std::cout);
+  return 0;
+}

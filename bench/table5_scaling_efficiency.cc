@@ -1,0 +1,44 @@
+// Reproduces Table V: strong-scaling efficiency of every problem from its
+// least CG count to 128 CGs, for the four CPE variants.
+//
+// Paper values for reference (least -> 128 CGs):
+//   problem       acc.sync acc.async simd.sync simd.async
+//   16x16x512       49.7%    46.8%     33.7%     31.7%
+//   16x32x512       59.1%    57.2%     41.2%     43.4%
+//   32x32x512       75.0%    57.5%     55.5%     50.8%
+//   32x64x512       79.3%    82.5%     60.6%     57.6%
+//   64x64x512*      88.2%    65.3%     74.7%     67.8%
+//   64x128x512*     95.7%    73.9%     80.7%     72.9%
+//   128x128x512*    97.7%    83.1%     96.1%     89.9%
+
+#include <iostream>
+
+#include "runtime/problem.h"
+#include "runtime/variant.h"
+#include "support/table.h"
+#include "sweep.h"
+
+int main() {
+  using namespace usw;
+  bench::Sweep sweep;
+
+  const std::vector<std::string> variants = {"acc.sync", "acc.async",
+                                             "acc_simd.sync", "acc_simd.async"};
+
+  TextTable table("Table V: strong scaling efficiency (least CGs -> 128 CGs)");
+  table.set_header({"Problem", "acc.sync", "acc.async", "simd.sync", "simd.async"});
+  for (const runtime::ProblemSpec& problem : runtime::paper_problems()) {
+    const int n0 = bench::Sweep::cg_counts(problem).front();
+    std::vector<std::string> row = {problem.name};
+    for (const auto& vname : variants) {
+      const runtime::Variant v = runtime::variant_by_name(vname);
+      const auto& base = sweep.run(problem, v, n0);
+      const auto& top = sweep.run(problem, v, 128);
+      row.push_back(TextTable::pct(
+          bench::scaling_efficiency(base.mean_step, n0, top.mean_step, 128)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}

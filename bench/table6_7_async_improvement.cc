@@ -1,0 +1,66 @@
+// Reproduces Tables VI and VII: the performance improvement of the
+// asynchronous scheduler over the synchronous one,
+// (T_sync - T_async) / T_async, per problem and CG count, for the
+// non-vectorized (Table VI) and vectorized (Table VII) kernels.
+//
+// Paper headline numbers: best improvement 39.3% (non-vectorized) and
+// 22.8% (vectorized); average 13.5%; medium problems gain the most; the
+// paper's 128-CG slowdowns are a machine anomaly we do not model.
+
+#include <iostream>
+
+#include "runtime/problem.h"
+#include "runtime/variant.h"
+#include "support/table.h"
+#include "sweep.h"
+
+namespace {
+
+void improvement_table(usw::bench::Sweep& sweep, bool vectorized) {
+  using namespace usw;
+  const runtime::Variant sync_v =
+      runtime::variant_by_name(vectorized ? "acc_simd.sync" : "acc.sync");
+  const runtime::Variant async_v =
+      runtime::variant_by_name(vectorized ? "acc_simd.async" : "acc.async");
+
+  TextTable table(vectorized
+                      ? "Table VII: async improvement, vectorized kernel"
+                      : "Table VI: async improvement, non-vectorized kernel");
+  std::vector<std::string> header = {"Problem"};
+  for (int n = 1; n <= 128; n *= 2) header.push_back(std::to_string(n));
+  table.set_header(header);
+
+  double sum = 0.0;
+  int count = 0;
+  double best = 0.0;
+  for (const runtime::ProblemSpec& problem : runtime::paper_problems()) {
+    std::vector<std::string> row = {problem.name};
+    for (int n = 1; n <= 128; n *= 2) {
+      if (n < problem.min_cgs) {
+        row.push_back("-");
+        continue;
+      }
+      const auto& ts = sweep.run(problem, sync_v, n);
+      const auto& ta = sweep.run(problem, async_v, n);
+      const double gain = static_cast<double>(ts.mean_step - ta.mean_step) /
+                          static_cast<double>(ta.mean_step);
+      sum += gain;
+      ++count;
+      best = std::max(best, gain);
+      row.push_back(TextTable::pct(gain));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "average improvement: " << TextTable::pct(sum / count)
+            << ", best: " << TextTable::pct(best) << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  usw::bench::Sweep sweep;
+  improvement_table(sweep, /*vectorized=*/false);
+  improvement_table(sweep, /*vectorized=*/true);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Example: third application — a Gaussian pulse advected through the
+// domain by a constant velocity field, solved with first-order upwinding.
+// Prints the pulse's tracked error against the exact translated solution
+// and the numerical mass loss of the upwind scheme.
+//
+//   $ ./advection_pulse [--ranks=4] [--steps=40] [--variant=acc_simd.async]
+
+#include <cstdio>
+
+#include "apps/advect/advect_app.h"
+#include "runtime/controller.h"
+#include "support/options.h"
+
+int main(int argc, char** argv) {
+  using namespace usw;
+  const Options opts(argc, argv);
+
+  runtime::RunConfig config;
+  config.problem = runtime::tiny_problem({4, 4, 2}, {12, 12, 24});
+  config.variant = runtime::variant_by_name(opts.get("variant", "acc_simd.async"));
+  config.nranks = static_cast<int>(opts.get_int("ranks", 4));
+  config.timesteps = static_cast<int>(opts.get_int("steps", 40));
+  config.storage = var::StorageMode::kFunctional;
+
+  apps::advect::AdvectApp app;
+  std::printf("running %s on %s grid, %d ranks, %d steps, variant %s\n",
+              app.name().c_str(), config.problem.grid_size().to_string().c_str(),
+              config.nranks, config.timesteps, config.variant.name.c_str());
+
+  const runtime::RunResult result = runtime::run_simulation(config, app);
+  const auto& metrics = result.ranks.front().metrics;
+  std::printf("mean step (virtual): %s\n",
+              format_duration(result.mean_step_wall()).c_str());
+  std::printf("pulse error vs exact translation: Linf %.3e, L2 %.3e\n",
+              metrics.at("linf_error"), metrics.at("l2_error"));
+  std::printf("remaining mass (sum of q): %.4f (first-order upwinding "
+              "diffuses the pulse)\n",
+              metrics.at("q_total"));
+  return 0;
+}

@@ -1,0 +1,80 @@
+// archive_to_vtk: converts one saved field of a uintah-sw data archive to
+// a legacy-format VTK structured-points file (viewable in ParaView/VisIt).
+//
+//   $ ./uswsim --app=advect --layout=2x2x2 --patch=16x16x16 --steps=20
+//              --output=/tmp/adv --output-interval=20
+//   $ ./archive_to_vtk --archive=/tmp/adv --label=q --out=/tmp/adv.vtk
+//
+// Patches are stitched into one dense grid (interiors only; ghosts are
+// dropped). The scalar field is written as binary-formatted ASCII doubles.
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "grid/level.h"
+#include "io/archive.h"
+#include "support/error.h"
+#include "support/options.h"
+
+int main(int argc, char** argv) {
+  using namespace usw;
+  const Options opts(argc, argv);
+  try {
+    const std::string dir = opts.get("archive", "");
+    if (dir.empty()) throw ConfigError("--archive=DIR is required");
+    const io::Archive archive(dir);
+    const io::ArchiveIndex index = archive.read_index();
+
+    int step = static_cast<int>(opts.get_int("step", -1));
+    if (step < 0) {
+      const auto latest = archive.latest_step();
+      if (!latest) throw ConfigError("archive has no saved steps");
+      step = *latest;
+    }
+    const std::string label =
+        opts.get("label", index.labels.empty() ? "" : index.labels.front());
+    if (label.empty()) throw ConfigError("--label=NAME is required");
+    const std::string out_path = opts.get("out", dir + "_" + label + ".vtk");
+
+    const grid::IntVec cells = index.patch_layout * index.patch_size;
+    const grid::Level level(index.patch_layout, index.patch_size);
+    std::vector<double> dense(static_cast<std::size_t>(cells.volume()), 0.0);
+    for (const grid::Patch& patch : level.patches()) {
+      const var::CCVariable<double> field =
+          archive.read_field(step, label, patch.id());
+      const grid::Box& interior = patch.cells();
+      for (int k = interior.lo.z; k < interior.hi.z; ++k)
+        for (int j = interior.lo.y; j < interior.hi.y; ++j)
+          for (int i = interior.lo.x; i < interior.hi.x; ++i)
+            dense[static_cast<std::size_t>(i) +
+                  static_cast<std::size_t>(cells.x) *
+                      (static_cast<std::size_t>(j) +
+                       static_cast<std::size_t>(cells.y) *
+                           static_cast<std::size_t>(k))] = field(i, j, k);
+    }
+
+    std::ofstream out(out_path);
+    if (!out) throw Error("cannot write " + out_path);
+    const io::StepMeta meta = archive.read_step_meta(step);
+    out << "# vtk DataFile Version 3.0\n"
+        << "uintah-sw " << label << " step " << step << " t=" << meta.time << "\n"
+        << "ASCII\nDATASET STRUCTURED_POINTS\n"
+        << "DIMENSIONS " << cells.x << ' ' << cells.y << ' ' << cells.z << "\n"
+        << "ORIGIN 0 0 0\n"
+        << "SPACING " << level.dx() << ' ' << level.dy() << ' ' << level.dz() << "\n"
+        << "POINT_DATA " << cells.volume() << "\n"
+        << "SCALARS " << label << " double 1\nLOOKUP_TABLE default\n";
+    out.precision(9);
+    for (std::size_t i = 0; i < dense.size(); ++i)
+      out << dense[i] << ((i + 1) % 8 == 0 ? '\n' : ' ');
+    out << '\n';
+    if (!out) throw Error("short write to " + out_path);
+    std::printf("wrote %s (%s, step %d, %lld cells)\n", out_path.c_str(),
+                label.c_str(), step, static_cast<long long>(cells.volume()));
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "archive_to_vtk: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,62 @@
+// Example: simulation output and checkpoint/restart.
+//
+// Runs the Burgers problem twice: once straight through, and once as
+// save-then-restart halves, demonstrating that the archived state restores
+// exactly (identical verification error). The archive lands in a
+// directory you can inspect: index.txt, step_<n>/meta.txt, and one .bin
+// field file per (variable, patch).
+//
+//   $ ./checkpoint_restart [--dir=/tmp/usw_demo_archive]
+
+#include <cstdio>
+
+#include "apps/burgers/burgers_app.h"
+#include "io/archive.h"
+#include "runtime/controller.h"
+#include "support/options.h"
+
+int main(int argc, char** argv) {
+  using namespace usw;
+  const Options opts(argc, argv);
+  const std::string dir = opts.get("dir", "/tmp/usw_demo_archive");
+
+  apps::burgers::BurgersApp app;
+  auto base_config = [] {
+    runtime::RunConfig cfg;
+    cfg.problem = runtime::tiny_problem({2, 2, 2}, {12, 12, 12});
+    cfg.variant = runtime::variant_by_name("acc_simd.async");
+    cfg.nranks = 4;
+    cfg.storage = var::StorageMode::kFunctional;
+    return cfg;
+  };
+
+  // Reference: 8 uninterrupted steps.
+  runtime::RunConfig whole = base_config();
+  whole.timesteps = 8;
+  const double reference =
+      runtime::run_simulation(whole, app).ranks[0].metrics.at("linf_error");
+
+  // First half, checkpointing at step 4.
+  runtime::RunConfig first = base_config();
+  first.timesteps = 4;
+  first.output_dir = dir;
+  first.output_interval = 4;
+  runtime::run_simulation(first, app);
+  const io::Archive archive(dir);
+  std::printf("checkpoint written to %s (latest step: %d)\n", dir.c_str(),
+              *archive.latest_step());
+
+  // Second half, restarted from the archive (note: 2x the ranks — the
+  // archive is keyed by patch, not by rank).
+  runtime::RunConfig second = base_config();
+  second.timesteps = 4;
+  second.nranks = 8;
+  second.restart_dir = dir;
+  const double restarted =
+      runtime::run_simulation(second, app).ranks[0].metrics.at("linf_error");
+
+  std::printf("uninterrupted run:   Linf error %.17e\n", reference);
+  std::printf("restarted run:       Linf error %.17e\n", restarted);
+  std::printf("bit-for-bit match:   %s\n", reference == restarted ? "yes" : "NO");
+  return reference == restarted ? 0 : 1;
+}

@@ -1,0 +1,42 @@
+// Example: a second PDE on the same runtime — 3D heat diffusion.
+//
+// Demonstrates that the public API is application-agnostic: the HeatApp
+// registers a different stencil kernel (7-point, exponential-free), its own
+// boundary handling, and an L2-norm reduction, yet runs through the
+// identical scheduler/data-warehouse machinery.
+//
+//   $ ./heat_equation [--ranks=4] [--steps=25] [--variant=acc.async]
+
+#include <cstdio>
+
+#include "apps/heat/heat_app.h"
+#include "runtime/controller.h"
+#include "support/options.h"
+
+int main(int argc, char** argv) {
+  using namespace usw;
+  const Options opts(argc, argv);
+
+  runtime::RunConfig config;
+  config.problem = runtime::tiny_problem({4, 4, 2}, {12, 12, 12});
+  config.variant = runtime::variant_by_name(opts.get("variant", "acc.async"));
+  config.nranks = static_cast<int>(opts.get_int("ranks", 4));
+  config.timesteps = static_cast<int>(opts.get_int("steps", 25));
+  config.storage = var::StorageMode::kFunctional;
+
+  apps::heat::HeatApp app;
+  std::printf("running %s on %s grid, %d ranks, %d steps, variant %s\n",
+              app.name().c_str(), config.problem.grid_size().to_string().c_str(),
+              config.nranks, config.timesteps, config.variant.name.c_str());
+
+  const runtime::RunResult result = runtime::run_simulation(config, app);
+
+  const auto& metrics = result.ranks.front().metrics;
+  std::printf("mean step (virtual): %s\n",
+              format_duration(result.mean_step_wall()).c_str());
+  std::printf("final ||u||^2 = %.6e (decays under diffusion)\n",
+              metrics.at("norm2"));
+  std::printf("verification vs exact separable solution: Linf %.3e, L2 %.3e\n",
+              metrics.at("linf_error"), metrics.at("l2_error"));
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Runs one Table III problem in timing-only mode: the full 8x8x2 patch
+// layout on a chosen number of simulated core-groups. Use this to explore
+// the cost model without allocating the (up to 16 GB) field data.
+//
+//   $ ./paper_problem --problem=32x64x512 --ranks=16 --variant=acc.async
+
+#include <cstdio>
+
+#include "apps/burgers/burgers_app.h"
+#include "runtime/controller.h"
+#include "support/options.h"
+
+int main(int argc, char** argv) {
+  using namespace usw;
+  const Options opts(argc, argv);
+
+  runtime::RunConfig config;
+  config.problem = runtime::problem_by_name(opts.get("problem", "16x16x512"));
+  config.variant = runtime::variant_by_name(opts.get("variant", "acc_simd.async"));
+  config.nranks = static_cast<int>(opts.get_int("ranks", config.problem.min_cgs));
+  config.timesteps = static_cast<int>(opts.get_int("steps", 10));
+  config.storage = var::StorageMode::kTimingOnly;
+
+  apps::burgers::BurgersApp app;
+  const runtime::RunResult result = runtime::run_simulation(config, app);
+
+  std::printf("%s  %s  %d CGs: mean step %s, %.3f Gflop/s (%.2f%% of peak)\n",
+              config.problem.name.c_str(), config.variant.name.c_str(),
+              config.nranks, format_duration(result.mean_step_wall()).c_str(),
+              result.achieved_gflops(),
+              100.0 * result.achieved_gflops() /
+                  (config.machine.cg_peak_gflops() * config.nranks));
+  return 0;
+}

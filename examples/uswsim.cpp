@@ -1,0 +1,170 @@
+// uswsim: the standalone simulation driver (the role of Uintah's `sus`).
+//
+// Selects an application, grid, scheduler variant, and machine knobs from
+// the command line; runs the simulation; prints per-step timings, the
+// scheduler's time breakdown, verification metrics, and (optionally)
+// writes an output archive.
+//
+// Examples:
+//   $ ./uswsim --app=burgers --problem=32x64x512 --ranks=16
+//              --variant=acc_simd.async --timing-only
+//   $ ./uswsim --app=heat --layout=4x4x2 --patch=12x12x12 --steps=25
+//              --stages=2 --ranks=8
+//   $ ./uswsim --app=advect --layout=4x4x2 --patch=16x16x16 --steps=40
+//              --output=/tmp/advect_run --output-interval=10
+//   $ ./uswsim --app=burgers --layout=2x2x2 --patch=12x12x12
+//              --restart=/tmp/checkpoint --steps=5
+//
+// Run with --help for the full option list.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "apps/advect/advect_app.h"
+#include "apps/burgers/burgers_app.h"
+#include "apps/heat/heat_app.h"
+#include "runtime/controller.h"
+#include "support/options.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace usw;
+
+void print_help() {
+  std::puts(
+      "uswsim - Uintah-style AMT runtime on a simulated Sunway TaihuLight\n"
+      "\n"
+      "application selection:\n"
+      "  --app=burgers|heat|advect     (default burgers)\n"
+      "  --stages=1|2                  heat only: sub-steps per timestep\n"
+      "  --heavy=F                     advect only: pulse-region work factor\n"
+      "  --ieee-exp                    burgers only: IEEE exp library\n"
+      "\n"
+      "problem selection (choose one):\n"
+      "  --problem=NAME                a Table III problem (e.g. 32x64x512)\n"
+      "  --layout=AxBxC --patch=XxYxZ  a custom grid\n"
+      "\n"
+      "run configuration:\n"
+      "  --ranks=N                     simulated core-groups (default 4)\n"
+      "  --steps=N                     timesteps (default 10)\n"
+      "  --variant=NAME                Table IV variant (default acc_simd.async)\n"
+      "  --timing-only                 skip field allocation (big problems)\n"
+      "  --partition=block|roundrobin|cost\n"
+      "  --cpe-groups=N  --async-dma  --packed-tiles\n"
+      "  --mpe-threshold=CELLS         small-kernel MPE heuristic\n"
+      "  --trace                       record + dump rank 0's event trace\n"
+      "\n"
+      "output / restart (functional storage only):\n"
+      "  --output=DIR --output-interval=N\n"
+      "  --restart=DIR [--restart-step=S]\n");
+}
+
+grid::IntVec parse_triple(const std::string& s, const char* what) {
+  grid::IntVec v;
+  if (std::sscanf(s.c_str(), "%dx%dx%d", &v.x, &v.y, &v.z) != 3)
+    throw ConfigError(std::string(what) + " expects AxBxC, got '" + s + "'");
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  if (opts.get_bool("help", false)) {
+    print_help();
+    return 0;
+  }
+  try {
+    runtime::RunConfig config;
+    if (opts.has("problem")) {
+      config.problem = runtime::problem_by_name(opts.get("problem"));
+    } else {
+      config.problem = runtime::tiny_problem(
+          parse_triple(opts.get("layout", "4x4x2"), "--layout"),
+          parse_triple(opts.get("patch", "16x16x16"), "--patch"));
+    }
+    config.variant = runtime::variant_by_name(opts.get("variant", "acc_simd.async"));
+    config.nranks = static_cast<int>(opts.get_int("ranks", 4));
+    config.timesteps = static_cast<int>(opts.get_int("steps", 10));
+    config.storage = opts.get_bool("timing-only", false)
+                         ? var::StorageMode::kTimingOnly
+                         : var::StorageMode::kFunctional;
+    const std::string partition = opts.get("partition", "block");
+    if (partition == "block") config.partition = grid::PartitionPolicy::kBlock;
+    else if (partition == "roundrobin") config.partition = grid::PartitionPolicy::kRoundRobin;
+    else if (partition == "cost") config.partition = grid::PartitionPolicy::kCostBalanced;
+    else throw ConfigError("unknown --partition '" + partition + "'");
+    config.cpe_groups = static_cast<int>(opts.get_int("cpe-groups", 1));
+    config.async_dma = opts.get_bool("async-dma", false);
+    config.packed_tiles = opts.get_bool("packed-tiles", false);
+    config.mpe_kernel_threshold_cells =
+        static_cast<std::uint64_t>(opts.get_int("mpe-threshold", 0));
+    config.collect_trace = opts.get_bool("trace", false);
+    config.output_dir = opts.get("output", "");
+    config.output_interval = static_cast<int>(opts.get_int("output-interval", 0));
+    config.restart_dir = opts.get("restart", "");
+    config.restart_step = static_cast<int>(opts.get_int("restart-step", -1));
+
+    const std::string app_name = opts.get("app", "burgers");
+    std::unique_ptr<runtime::Application> app;
+    if (app_name == "burgers") {
+      apps::burgers::BurgersApp::Config ac;
+      ac.use_ieee_exp = opts.get_bool("ieee-exp", false);
+      app = std::make_unique<apps::burgers::BurgersApp>(ac);
+    } else if (app_name == "heat") {
+      apps::heat::HeatApp::Config ac;
+      ac.stages = static_cast<int>(opts.get_int("stages", 1));
+      app = std::make_unique<apps::heat::HeatApp>(ac);
+    } else if (app_name == "advect") {
+      apps::advect::AdvectApp::Config ac;
+      ac.heavy_factor = opts.get_double("heavy", 1.0);
+      app = std::make_unique<apps::advect::AdvectApp>(ac);
+    } else {
+      throw ConfigError("unknown --app '" + app_name + "' (burgers|heat|advect)");
+    }
+
+    std::printf("uswsim: %s on %s (%d patches of %s), %d CGs, %d steps, %s\n",
+                app->name().c_str(), config.problem.grid_size().to_string().c_str(),
+                config.problem.num_patches(),
+                config.problem.patch_size.to_string().c_str(), config.nranks,
+                config.timesteps, config.variant.name.c_str());
+
+    const runtime::RunResult result = runtime::run_simulation(config, *app);
+
+    TextTable table("timing (virtual)");
+    table.set_header({"metric", "value"});
+    table.add_row({"init", format_duration(result.ranks[0].init_wall)});
+    table.add_row({"mean step", format_duration(result.mean_step_wall())});
+    if (result.timesteps > 0) {
+      table.add_row({"first step", format_duration(result.step_wall(0))});
+      table.add_row({"last step", format_duration(result.step_wall(result.timesteps - 1))});
+    }
+    table.add_row({"achieved Gflop/s", TextTable::num(result.achieved_gflops(), 2)});
+    const hw::PerfCounters sum = result.merged_counters();
+    table.add_row({"CPE kernel time/CG", format_duration(sum.kernel_time / config.nranks)});
+    table.add_row({"MPE task time/CG", format_duration(sum.mpe_task_time / config.nranks)});
+    table.add_row({"comm time/CG", format_duration(sum.comm_time / config.nranks)});
+    table.add_row({"idle wait/CG", format_duration(sum.wait_time / config.nranks)});
+    table.add_row({"offloads", std::to_string(sum.kernels_offloaded)});
+    table.add_row({"MPI messages", std::to_string(sum.messages_sent)});
+    table.add_row({"MPI volume", format_bytes(sum.bytes_sent)});
+    table.print(std::cout);
+
+    if (!result.ranks[0].metrics.empty()) {
+      std::printf("\nverification:\n");
+      for (const auto& [key, value] : result.ranks[0].metrics)
+        std::printf("  %-12s %.6e\n", key.c_str(), value);
+    }
+    if (config.collect_trace) {
+      std::printf("\nrank 0 event trace:\n%s",
+                  result.ranks[0].trace.dump().c_str());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "uswsim: %s\n", e.what());
+    std::fprintf(stderr, "run with --help for usage\n");
+    return 1;
+  }
+}

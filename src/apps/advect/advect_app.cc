@@ -1,0 +1,266 @@
+#include "apps/advect/advect_app.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "kern/simd4.h"
+#include "support/error.h"
+
+namespace usw::apps::advect {
+namespace {
+
+using kern::FieldView;
+using kern::KernelEnv;
+using kern::Vec4;
+
+/// First-order upwind cell update (velocities positive => backward
+/// differences on all axes, like the Burgers kernel's advection part).
+struct UpwindCell {
+  double vx, vy, vz;
+
+  inline void operator()(const KernelEnv& env, const FieldView& u0,
+                         const FieldView& u1, int i, int j, int k) const {
+    const double u = *u0.ptr(i, j, k);
+    const double flux = vx * (u - *u0.ptr(i - 1, j, k)) / env.dx +
+                        vy * (u - *u0.ptr(i, j - 1, k)) / env.dy +
+                        vz * (u - *u0.ptr(i, j, k - 1)) / env.dz;
+    *u1.ptr(i, j, k) = u - env.dt * flux;
+  }
+};
+
+hw::KernelCost upwind_cost() {
+  hw::KernelCost c;
+  c.flops_per_cell = 11.0;
+  c.divs_per_cell = 3.0;
+  c.bytes_read_per_cell = 8.0;
+  c.bytes_written_per_cell = 8.0;
+  return c;
+}
+
+kern::KernelVariants make_upwind_kernel(double vx, double vy, double vz,
+                                        grid::IntVec tile_shape) {
+  kern::KernelVariants kv;
+  kv.cost = upwind_cost();
+  kv.ghost = 1;
+  kv.tile_shape = tile_shape;
+  const UpwindCell cell{vx, vy, vz};
+  kv.scalar = [cell](const KernelEnv& env, const FieldView& in,
+                     const FieldView& out, const grid::Box& region) {
+    for (int k = region.lo.z; k < region.hi.z; ++k)
+      for (int j = region.lo.y; j < region.hi.y; ++j)
+        for (int i = region.lo.x; i < region.hi.x; ++i)
+          cell(env, in, out, i, j, k);
+  };
+  kv.simd = [cell](const KernelEnv& env, const FieldView& in,
+                   const FieldView& out, const grid::Box& region) {
+    const Vec4 vvx = Vec4::broadcast(cell.vx);
+    const Vec4 vvy = Vec4::broadcast(cell.vy);
+    const Vec4 vvz = Vec4::broadcast(cell.vz);
+    const Vec4 vdx = Vec4::broadcast(env.dx);
+    const Vec4 vdy = Vec4::broadcast(env.dy);
+    const Vec4 vdz = Vec4::broadcast(env.dz);
+    const Vec4 vdt = Vec4::broadcast(env.dt);
+    for (int k = region.lo.z; k < region.hi.z; ++k)
+      for (int j = region.lo.y; j < region.hi.y; ++j) {
+        int i = region.lo.x;
+        for (; i + 4 <= region.hi.x; i += 4) {
+          const Vec4 u = Vec4::loadu(in.ptr(i, j, k));
+          const Vec4 flux =
+              Vec4::vmuld(vvx, (u - Vec4::loadu(in.ptr(i - 1, j, k)))) / vdx +
+              Vec4::vmuld(vvy, (u - Vec4::loadu(in.ptr(i, j - 1, k)))) / vdy +
+              Vec4::vmuld(vvz, (u - Vec4::loadu(in.ptr(i, j, k - 1)))) / vdz;
+          (u - Vec4::vmuld(vdt, flux)).storeu(out.ptr(i, j, k));
+        }
+        for (; i < region.hi.x; ++i) cell(env, in, out, i, j, k);
+      }
+  };
+  return kv;
+}
+
+hw::KernelCost analytic_cost() {
+  hw::KernelCost c;
+  c.flops_per_cell = 12.0;
+  c.exps_per_cell = 1.0;
+  c.bytes_written_per_cell = 8.0;
+  return c;
+}
+
+}  // namespace
+
+const var::VarLabel* AdvectApp::q_label() { return var::VarLabel::create("q"); }
+const var::VarLabel* AdvectApp::total_label() {
+  return var::VarLabel::create("q_total");
+}
+
+double AdvectApp::exact(double x, double y, double z, double t) const {
+  // Gaussian pulse initially centered at (0.3, 0.3, 0.3), translated by vt.
+  const double cx = 0.3 + config_.vx * t;
+  const double cy = 0.3 + config_.vy * t;
+  const double cz = 0.3 + config_.vz * t;
+  const double s2 = config_.pulse_width * config_.pulse_width;
+  const double r2 = (x - cx) * (x - cx) + (y - cy) * (y - cy) + (z - cz) * (z - cz);
+  return std::exp(-r2 / (2.0 * s2));
+}
+
+void AdvectApp::build_init_graph(task::TaskGraph& graph,
+                                 const grid::Level& level) const {
+  (void)level;
+  auto init = task::Task::make_mpe(
+      "advect_init",
+      [this](const task::TaskContext& ctx, const grid::Patch& patch) -> TimePs {
+        var::DataWarehouse& dw = *ctx.new_dw;
+        const int ghost = dw.ghost_of(q_label(), patch.id());
+        const grid::Box region = patch.ghosted(ghost);
+        if (ctx.functional) {
+          var::CCVariable<double>& q = dw.get(q_label(), patch.id());
+          for (int k = region.lo.z; k < region.hi.z; ++k)
+            for (int j = region.lo.y; j < region.hi.y; ++j)
+              for (int i = region.lo.x; i < region.hi.x; ++i)
+                q(i, j, k) = exact(i * ctx.level->dx(), j * ctx.level->dy(),
+                                   k * ctx.level->dz(), 0.0);
+        }
+        return ctx.cost->mpe_compute(
+            static_cast<std::uint64_t>(region.volume()), analytic_cost());
+      });
+  init->add_computes(q_label());
+  graph.add(std::move(init));
+}
+
+bool AdvectApp::is_heavy(const grid::Level& level,
+                         const grid::Patch& patch) const {
+  // Distance from the initial pulse center to the patch's cell box.
+  const double cx = 0.3, cy = 0.3, cz = 0.3;
+  const grid::Box& b = patch.cells();
+  auto clamp_dist = [](double c, double lo, double hi) {
+    if (c < lo) return lo - c;
+    if (c > hi) return c - hi;
+    return 0.0;
+  };
+  const double dx_ = clamp_dist(cx, b.lo.x * level.dx(), b.hi.x * level.dx());
+  const double dy_ = clamp_dist(cy, b.lo.y * level.dy(), b.hi.y * level.dy());
+  const double dz_ = clamp_dist(cz, b.lo.z * level.dz(), b.hi.z * level.dz());
+  const double r2 = dx_ * dx_ + dy_ * dy_ + dz_ * dz_;
+  const double reach = 2.0 * config_.pulse_width;
+  return r2 <= reach * reach;
+}
+
+double AdvectApp::patch_cost(const grid::Level& level,
+                             const grid::Patch& patch) const {
+  // A patch costs its (offloadable) kernel plus the constant MPE-side work
+  // every patch incurs regardless of physics: the reduction scan, boundary
+  // fill, packing, and task management. For this cheap upwind kernel the
+  // MPE share is roughly five light-kernel units; ignoring it (weighting
+  // by kernel alone) makes the balancer pile dozens of light patches onto
+  // one rank and trade kernel imbalance for worse MPE imbalance.
+  constexpr double kMpeShare = 5.0;
+  const double kernel = is_heavy(level, patch) ? config_.heavy_factor : 1.0;
+  return kMpeShare + kernel;
+}
+
+void AdvectApp::build_step_graph(task::TaskGraph& graph,
+                                 const grid::Level& level) const {
+  kern::KernelVariants kernel =
+      make_upwind_kernel(config_.vx, config_.vy, config_.vz, config_.tile_shape);
+  if (config_.heavy_factor != 1.0) {
+    const double factor = config_.heavy_factor;
+    const grid::Level* lvl = &level;
+    const AdvectApp* self = this;
+    kernel.cost_scale = [self, lvl, factor](const grid::Patch& patch) {
+      return self->is_heavy(*lvl, patch) ? factor : 1.0;
+    };
+  }
+  graph.add(task::Task::make_stencil("advect", q_label(), q_label(),
+                                     std::move(kernel)));
+
+  auto boundary = task::Task::make_mpe(
+      "advect_boundary",
+      [this](const task::TaskContext& ctx, const grid::Patch& patch) -> TimePs {
+        var::DataWarehouse& dw = *ctx.new_dw;
+        const int ghost = dw.ghost_of(q_label(), patch.id());
+        const grid::Box domain = ctx.level->domain();
+        const grid::Box g = patch.ghosted(ghost);
+        std::uint64_t cells = 0;
+        for (int axis = 0; axis < 3; ++axis) {
+          for (int side = 0; side < 2; ++side) {
+            grid::Box slab = g;
+            if (side == 0) {
+              if (g.lo[axis] >= domain.lo[axis]) continue;
+              slab.hi[axis] = domain.lo[axis];
+            } else {
+              if (g.hi[axis] <= domain.hi[axis]) continue;
+              slab.lo[axis] = domain.hi[axis];
+            }
+            cells += static_cast<std::uint64_t>(slab.volume());
+            if (ctx.functional) {
+              var::CCVariable<double>& q = dw.get(q_label(), patch.id());
+              const double t_next = ctx.time + ctx.dt;
+              for (int k = slab.lo.z; k < slab.hi.z; ++k)
+                for (int j = slab.lo.y; j < slab.hi.y; ++j)
+                  for (int i = slab.lo.x; i < slab.hi.x; ++i)
+                    q(i, j, k) = exact(i * ctx.level->dx(), j * ctx.level->dy(),
+                                       k * ctx.level->dz(), t_next);
+            }
+          }
+        }
+        return ctx.cost->mpe_compute(cells, analytic_cost());
+      });
+  boundary->add_modifies(q_label());
+  graph.add(std::move(boundary));
+
+  // Total mass: conserved by exact transport, dissipated only by the
+  // upwind scheme's numerical diffusion and outflow.
+  auto reduce = task::Task::make_reduction(
+      "q_total", total_label(), task::ReduceOp::kSum,
+      [](const task::TaskContext& ctx, const grid::Patch& patch) -> double {
+        const var::CCVariable<double>& q = ctx.new_dw->get(q_label(), patch.id());
+        double s = 0.0;
+        const grid::Box& cells = patch.cells();
+        for (int k = cells.lo.z; k < cells.hi.z; ++k)
+          for (int j = cells.lo.y; j < cells.hi.y; ++j)
+            for (int i = cells.lo.x; i < cells.hi.x; ++i)
+              s += q(i, j, k);
+        return s;
+      });
+  reduce->add_requires(q_label(), task::WhichDW::kNew, 0);
+  graph.add(std::move(reduce));
+}
+
+double AdvectApp::fixed_dt(const grid::Level& level) const {
+  const double cfl = config_.vx / level.dx() + config_.vy / level.dy() +
+                     config_.vz / level.dz();
+  USW_ASSERT(cfl > 0.0);
+  return config_.cfl_safety / cfl;
+}
+
+void AdvectApp::on_rank_complete(const task::TaskContext& ctx, comm::Comm& comm,
+                                 std::span<const int> my_patches,
+                                 std::map<std::string, double>& metrics) const {
+  if (!ctx.functional) return;
+  double linf = 0.0;
+  double l2sum = 0.0;
+  double cells = 0.0;
+  for (int pid : my_patches) {
+    const var::CCVariable<double>& q = ctx.old_dw->get(q_label(), pid);
+    const grid::Box interior = ctx.level->patch(pid).cells();
+    for (int k = interior.lo.z; k < interior.hi.z; ++k)
+      for (int j = interior.lo.y; j < interior.hi.y; ++j)
+        for (int i = interior.lo.x; i < interior.hi.x; ++i) {
+          const double err =
+              q(i, j, k) - exact(i * ctx.level->dx(), j * ctx.level->dy(),
+                                 k * ctx.level->dz(), ctx.time);
+          linf = std::max(linf, std::abs(err));
+          l2sum += err * err;
+          cells += 1.0;
+        }
+  }
+  linf = comm.allreduce_max(linf);
+  l2sum = comm.allreduce_sum(l2sum);
+  cells = comm.allreduce_sum(cells);
+  metrics["linf_error"] = linf;
+  metrics["l2_error"] = std::sqrt(l2sum / cells);
+  if (ctx.old_dw->has_reduction(total_label()))
+    metrics["q_total"] = ctx.old_dw->get_reduction(total_label());
+}
+
+}  // namespace usw::apps::advect

@@ -1,0 +1,170 @@
+#include "apps/burgers/burgers_app.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "apps/burgers/kernels.h"
+#include "apps/burgers/phi.h"
+#include "support/error.h"
+
+namespace usw::apps::burgers {
+namespace {
+
+/// Operation mix of one analytic phi*phi*phi fill per cell: on a slab or a
+/// full box, two of the three phi factors are hoisted out of the inner
+/// loop, leaving one 2-exp phi call plus two multiplies per cell.
+hw::KernelCost analytic_cost() {
+  hw::KernelCost c;
+  c.flops_per_cell = 21.0;
+  c.exps_per_cell = 2.0;
+  c.divs_per_cell = 1.0;
+  c.bytes_written_per_cell = 8.0;
+  return c;
+}
+
+/// Fills `region` of `u` with the exact solution at time `t`.
+void fill_exact(var::CCVariable<double>& u, const grid::Level& level,
+                const grid::Box& region, double t) {
+  for (int k = region.lo.z; k < region.hi.z; ++k) {
+    const double pz = phi_ieee(k * level.dz(), t);
+    for (int j = region.lo.y; j < region.hi.y; ++j) {
+      const double py = phi_ieee(j * level.dy(), t);
+      for (int i = region.lo.x; i < region.hi.x; ++i)
+        u(i, j, k) = phi_ieee(i * level.dx(), t) * py * pz;
+    }
+  }
+}
+
+/// Domain-boundary slabs of the patch's ghosted box (regions the halo
+/// exchange cannot fill because there is no neighbor).
+std::vector<grid::Box> boundary_slabs(const grid::Level& level,
+                                      const grid::Patch& patch, int ghost) {
+  std::vector<grid::Box> out;
+  const grid::Box domain = level.domain();
+  const grid::Box g = patch.ghosted(ghost);
+  for (int axis = 0; axis < 3; ++axis) {
+    if (g.lo[axis] < domain.lo[axis]) {
+      grid::Box slab = g;
+      slab.hi[axis] = domain.lo[axis];
+      out.push_back(slab);
+    }
+    if (g.hi[axis] > domain.hi[axis]) {
+      grid::Box slab = g;
+      slab.lo[axis] = domain.hi[axis];
+      out.push_back(slab);
+    }
+  }
+  // Slabs from different axes overlap at corners; that is harmless (the
+  // same analytic value is written twice) and keeps the geometry simple.
+  return out;
+}
+
+}  // namespace
+
+const var::VarLabel* BurgersApp::u_label() { return var::VarLabel::create("u"); }
+const var::VarLabel* BurgersApp::umax_label() {
+  return var::VarLabel::create("u_max");
+}
+
+void BurgersApp::build_init_graph(task::TaskGraph& graph,
+                                  const grid::Level& level) const {
+  (void)level;
+  auto init = task::Task::make_mpe(
+      "initialize",
+      [](const task::TaskContext& ctx, const grid::Patch& patch) -> TimePs {
+        var::DataWarehouse& dw = *ctx.new_dw;
+        const int ghost = dw.ghost_of(u_label(), patch.id());
+        const grid::Box region = patch.ghosted(ghost);
+        if (ctx.functional)
+          fill_exact(dw.get(u_label(), patch.id()), *ctx.level, region, 0.0);
+        return ctx.cost->mpe_compute(
+            static_cast<std::uint64_t>(region.volume()), analytic_cost());
+      });
+  init->add_computes(u_label());
+  graph.add(std::move(init));
+}
+
+void BurgersApp::build_step_graph(task::TaskGraph& graph,
+                                  const grid::Level& level) const {
+  (void)level;
+  graph.add(task::Task::make_stencil(
+      "advance", u_label(), u_label(),
+      make_burgers_kernel(config_.use_ieee_exp, config_.tile_shape)));
+
+  auto boundary = task::Task::make_mpe(
+      "boundary",
+      [](const task::TaskContext& ctx, const grid::Patch& patch) -> TimePs {
+        var::DataWarehouse& dw = *ctx.new_dw;
+        const int ghost = dw.ghost_of(u_label(), patch.id());
+        std::uint64_t cells = 0;
+        for (const grid::Box& slab : boundary_slabs(*ctx.level, patch, ghost)) {
+          cells += static_cast<std::uint64_t>(slab.volume());
+          if (ctx.functional)
+            fill_exact(dw.get(u_label(), patch.id()), *ctx.level, slab,
+                       ctx.time + ctx.dt);
+        }
+        return ctx.cost->mpe_compute(cells, analytic_cost());
+      });
+  boundary->add_modifies(u_label());
+  graph.add(std::move(boundary));
+
+  auto reduce = task::Task::make_reduction(
+      "u_max", umax_label(), task::ReduceOp::kMax,
+      [](const task::TaskContext& ctx, const grid::Patch& patch) -> double {
+        const var::CCVariable<double>& u = ctx.new_dw->get(u_label(), patch.id());
+        double m = -std::numeric_limits<double>::infinity();
+        const grid::Box& cells = patch.cells();
+        for (int k = cells.lo.z; k < cells.hi.z; ++k)
+          for (int j = cells.lo.y; j < cells.hi.y; ++j)
+            for (int i = cells.lo.x; i < cells.hi.x; ++i)
+              m = std::max(m, std::abs(u(i, j, k)));
+        return m;
+      });
+  reduce->add_requires(u_label(), task::WhichDW::kNew, 0);
+  graph.add(std::move(reduce));
+}
+
+double BurgersApp::fixed_dt(const grid::Level& level) const {
+  // Forward Euler stability: advection (|phi| <= 1) and diffusion limits.
+  const double h = std::min({level.dx(), level.dy(), level.dz()});
+  const double adv_limit = h;
+  const double diff_limit = h * h / (6.0 * kViscosity);
+  return config_.cfl_safety * std::min(adv_limit, diff_limit);
+}
+
+void BurgersApp::on_rank_complete(const task::TaskContext& ctx,
+                                  comm::Comm& comm,
+                                  std::span<const int> my_patches,
+                                  std::map<std::string, double>& metrics) const {
+  if (!ctx.functional) return;
+  // After the final swap the old DW holds the last computed solution at
+  // ctx.time; compare against the exact product solution.
+  double linf = 0.0;
+  double l2sum = 0.0;
+  double cells = 0.0;
+  for (int pid : my_patches) {
+    const var::CCVariable<double>& u = ctx.old_dw->get(u_label(), pid);
+    const grid::Box interior = ctx.level->patch(pid).cells();
+    for (int k = interior.lo.z; k < interior.hi.z; ++k)
+      for (int j = interior.lo.y; j < interior.hi.y; ++j)
+        for (int i = interior.lo.x; i < interior.hi.x; ++i) {
+          const double exact =
+              exact_solution(i * ctx.level->dx(), j * ctx.level->dy(),
+                             k * ctx.level->dz(), ctx.time);
+          const double err = u(i, j, k) - exact;
+          linf = std::max(linf, std::abs(err));
+          l2sum += err * err;
+          cells += 1.0;
+        }
+  }
+  linf = comm.allreduce_max(linf);
+  l2sum = comm.allreduce_sum(l2sum);
+  cells = comm.allreduce_sum(cells);
+  metrics["linf_error"] = linf;
+  metrics["l2_error"] = std::sqrt(l2sum / cells);
+  if (ctx.old_dw->has_reduction(umax_label()))
+    metrics["u_max"] = ctx.old_dw->get_reduction(umax_label());
+}
+
+}  // namespace usw::apps::burgers

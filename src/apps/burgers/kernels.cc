@@ -1,0 +1,148 @@
+#include "apps/burgers/kernels.h"
+
+#include "apps/burgers/phi.h"
+#include "kern/fastexp.h"
+#include "kern/simd4.h"
+
+namespace usw::apps::burgers {
+namespace {
+
+using kern::FieldView;
+using kern::KernelEnv;
+using kern::Vec4;
+
+/// One cell of Algorithm 1, shared by the scalar kernel and the SIMD
+/// epilogue so remainders match the vector lanes bit-for-bit.
+template <typename ExpFn>
+inline void cell(const KernelEnv& env, const FieldView& u0, const FieldView& u1,
+                 int i, int j, int k, ExpFn&& exp_fn) {
+  const double dx = env.dx, dy = env.dy, dz = env.dz;
+  const double u = *u0.ptr(i, j, k);
+  const double u_dudx =
+      phi(i * dx, env.time, exp_fn) * (*u0.ptr(i - 1, j, k) - u) / dx;
+  const double u_dudy =
+      phi(j * dy, env.time, exp_fn) * (*u0.ptr(i, j - 1, k) - u) / dy;
+  const double u_dudz =
+      phi(k * dz, env.time, exp_fn) * (*u0.ptr(i, j, k - 1) - u) / dz;
+  // Parenthesized to match the SIMD variant's vmad(-2,u, uxm+uxp) rounding
+  // exactly, so scalar and vector runs agree bit-for-bit.
+  const double d2udx2 =
+      (-2.0 * u + (*u0.ptr(i - 1, j, k) + *u0.ptr(i + 1, j, k))) / (dx * dx);
+  const double d2udy2 =
+      (-2.0 * u + (*u0.ptr(i, j - 1, k) + *u0.ptr(i, j + 1, k))) / (dy * dy);
+  const double d2udz2 =
+      (-2.0 * u + (*u0.ptr(i, j, k - 1) + *u0.ptr(i, j, k + 1))) / (dz * dz);
+  const double du =
+      (u_dudx + u_dudy + u_dudz) + kViscosity * (d2udx2 + d2udy2 + d2udz2);
+  *u1.ptr(i, j, k) = u + env.dt * du;
+}
+
+template <typename ExpFn>
+void scalar_kernel(const KernelEnv& env, const FieldView& u0,
+                   const FieldView& u1, const grid::Box& region,
+                   ExpFn&& exp_fn) {
+  for (int k = region.lo.z; k < region.hi.z; ++k)
+    for (int j = region.lo.y; j < region.hi.y; ++j)
+      for (int i = region.lo.x; i < region.hi.x; ++i)
+        cell(env, u0, u1, i, j, k, exp_fn);
+}
+
+/// Vectorized along x with width 4 (Algorithm 2); the y/z phi factors are
+/// broadcast, and a scalar epilogue handles the remainder cells. The
+/// scalar and vector phi agree exactly because exp(0) == 1 exactly.
+template <typename ScalarExp, typename VecExp>
+void simd_kernel(const KernelEnv& env, const FieldView& u0, const FieldView& u1,
+                 const grid::Box& region, ScalarExp&& sexp, VecExp&& vexp) {
+  const double dx = env.dx, dy = env.dy, dz = env.dz;
+  const Vec4 vdx = Vec4::broadcast(dx);
+  const Vec4 vdy = Vec4::broadcast(dy);
+  const Vec4 vdz = Vec4::broadcast(dz);
+  const Vec4 vdx2 = Vec4::broadcast(dx * dx);
+  const Vec4 vdy2 = Vec4::broadcast(dy * dy);
+  const Vec4 vdz2 = Vec4::broadcast(dz * dz);
+  const Vec4 vnu = Vec4::broadcast(kViscosity);
+  const Vec4 vdt = Vec4::broadcast(env.dt);
+  const Vec4 vm2 = Vec4::broadcast(-2.0);
+
+  for (int k = region.lo.z; k < region.hi.z; ++k) {
+    const Vec4 phi_z = Vec4::broadcast(phi(k * dz, env.time, sexp));
+    for (int j = region.lo.y; j < region.hi.y; ++j) {
+      const Vec4 phi_y = Vec4::broadcast(phi(j * dy, env.time, sexp));
+      int i = region.lo.x;
+      for (; i + 4 <= region.hi.x; i += 4) {
+        const Vec4 xi{i * dx, (i + 1) * dx, (i + 2) * dx, (i + 3) * dx};
+        const Vec4 phi_x = phi(xi, env.time, vexp);
+        const Vec4 u = Vec4::loadu(u0.ptr(i, j, k));
+        const Vec4 uxm = Vec4::loadu(u0.ptr(i - 1, j, k));
+        const Vec4 uxp = Vec4::loadu(u0.ptr(i + 1, j, k));
+        const Vec4 uym = Vec4::loadu(u0.ptr(i, j - 1, k));
+        const Vec4 uyp = Vec4::loadu(u0.ptr(i, j + 1, k));
+        const Vec4 uzm = Vec4::loadu(u0.ptr(i, j, k - 1));
+        const Vec4 uzp = Vec4::loadu(u0.ptr(i, j, k + 1));
+
+        const Vec4 u_dudx = Vec4::vmuld(phi_x, (uxm - u)) / vdx;
+        const Vec4 u_dudy = Vec4::vmuld(phi_y, (uym - u)) / vdy;
+        const Vec4 u_dudz = Vec4::vmuld(phi_z, (uzm - u)) / vdz;
+        const Vec4 d2udx2 = Vec4::vmad(vm2, u, uxm + uxp) / vdx2;
+        const Vec4 d2udy2 = Vec4::vmad(vm2, u, uym + uyp) / vdy2;
+        const Vec4 d2udz2 = Vec4::vmad(vm2, u, uzm + uzp) / vdz2;
+        const Vec4 du = (u_dudx + u_dudy + u_dudz) +
+                        Vec4::vmuld(vnu, (d2udx2 + d2udy2 + d2udz2));
+        Vec4::vmad(vdt, du, u).storeu(u1.ptr(i, j, k));
+      }
+      for (; i < region.hi.x; ++i) cell(env, u0, u1, i, j, k, sexp);
+    }
+  }
+}
+
+}  // namespace
+
+hw::KernelCost burgers_kernel_cost() {
+  hw::KernelCost c;
+  c.flops_per_cell = 83.0;
+  c.exps_per_cell = 6.0;
+  c.divs_per_cell = 9.0;
+  c.bytes_read_per_cell = 8.0;
+  c.bytes_written_per_cell = 8.0;
+  return c;
+}
+
+kern::KernelVariants make_burgers_kernel(bool use_ieee_exp,
+                                         grid::IntVec tile_shape) {
+  kern::KernelVariants kv;
+  kv.cost = burgers_kernel_cost();
+  kv.ghost = 1;
+  kv.tile_shape = tile_shape;
+  kv.use_ieee_exp = use_ieee_exp;
+  if (use_ieee_exp) {
+    kv.scalar = [](const KernelEnv& env, const FieldView& in,
+                   const FieldView& out, const grid::Box& region) {
+      scalar_kernel(env, in, out, region,
+                    [](double v) { return kern::exp_ieee(v); });
+    };
+    kv.simd = [](const KernelEnv& env, const FieldView& in,
+                 const FieldView& out, const grid::Box& region) {
+      simd_kernel(env, in, out, region,
+                  [](double v) { return kern::exp_ieee(v); },
+                  [](Vec4 v) {
+                    return Vec4{kern::exp_ieee(v[0]), kern::exp_ieee(v[1]),
+                                kern::exp_ieee(v[2]), kern::exp_ieee(v[3])};
+                  });
+    };
+  } else {
+    kv.scalar = [](const KernelEnv& env, const FieldView& in,
+                   const FieldView& out, const grid::Box& region) {
+      scalar_kernel(env, in, out, region,
+                    [](double v) { return kern::exp_fast(v); });
+    };
+    kv.simd = [](const KernelEnv& env, const FieldView& in,
+                 const FieldView& out, const grid::Box& region) {
+      simd_kernel(env, in, out, region,
+                  [](double v) { return kern::exp_fast(v); },
+                  [](Vec4 v) { return kern::exp_fast(v); });
+    };
+  }
+  return kv;
+}
+
+}  // namespace usw::apps::burgers

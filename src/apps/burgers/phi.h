@@ -1,0 +1,97 @@
+#pragma once
+
+// The coefficient/solution function phi of the model problem (Sec III):
+//
+//   phi(x,t) = (0.1 e^a + 0.5 e^b + e^c) / (e^a + e^b + e^c)
+//   a = -0.05 (x - 0.5 + 4.95 t) / nu
+//   b = -0.25 (x - 0.5 + 0.75 t) / nu
+//   c = -0.50 (x - 0.375)        / nu ,   nu = 0.01
+//
+// phi solves the 1D viscous Burgers equation, and the product
+// phi(x,t) phi(y,t) phi(z,t) is the exact solution of the 3D model
+// equation (1) — used for the initial condition, the Dirichlet boundary
+// values, and verification.
+//
+// As in the paper, the numerator and denominator are divided by the
+// largest of e^a, e^b, e^c, reducing the exponential count per call from
+// three to two (six per cell for the three calls in the kernel). The
+// function is templated over the arithmetic type (double or Vec4) and the
+// exponential implementation (fast or IEEE), mirroring the scalar / SIMD
+// and fast-exp / IEEE-exp kernel variants.
+
+#include "kern/fastexp.h"
+#include "kern/simd4.h"
+
+namespace usw::apps::burgers {
+
+inline constexpr double kViscosity = 0.01;
+
+namespace detail {
+inline double max3(double a, double b, double c) {
+  const double m = a > b ? a : b;
+  return m > c ? m : c;
+}
+inline kern::Vec4 max3(kern::Vec4 a, kern::Vec4 b, kern::Vec4 c) {
+  return kern::Vec4::max(kern::Vec4::max(a, b), c);
+}
+}  // namespace detail
+
+/// Vector phi: the reduction by the lane-wise maximum still evaluates all
+/// three exponentials (one of them is exp(0) per lane) — per-lane branching
+/// does not vectorize, which is exactly why the paper's SIMD exponential
+/// speedup is modest.
+template <typename ExpFn>
+inline kern::Vec4 phi(kern::Vec4 x, double t, ExpFn&& exp_fn) {
+  constexpr double inv_nu = 1.0 / kViscosity;
+  const kern::Vec4 a = -0.05 * (x - 0.5 + 4.95 * t) * inv_nu;
+  const kern::Vec4 b = -0.25 * (x - 0.5 + 0.75 * t) * inv_nu;
+  const kern::Vec4 c = -0.50 * (x - 0.375) * inv_nu;
+  const kern::Vec4 m = detail::max3(a, b, c);
+  const kern::Vec4 ea = exp_fn(a - m);
+  const kern::Vec4 eb = exp_fn(b - m);
+  const kern::Vec4 ec = exp_fn(c - m);
+  return (0.1 * ea + 0.5 * eb + ec) / (ea + eb + ec);
+}
+
+/// Scalar phi: branches on the largest exponent and skips its exponential,
+/// so only two exponentials are evaluated per call — six per cell for the
+/// kernel's three calls, matching the paper's count.
+template <typename ExpFn>
+inline double phi(double x, double t, ExpFn&& exp_fn) {
+  constexpr double inv_nu = 1.0 / kViscosity;
+  const double a = -0.05 * (x - 0.5 + 4.95 * t) * inv_nu;
+  const double b = -0.25 * (x - 0.5 + 0.75 * t) * inv_nu;
+  const double c = -0.50 * (x - 0.375) * inv_nu;
+  double ea, eb, ec;
+  if (a >= b && a >= c) {
+    ea = 1.0;
+    eb = exp_fn(b - a);
+    ec = exp_fn(c - a);
+  } else if (b >= c) {
+    eb = 1.0;
+    ea = exp_fn(a - b);
+    ec = exp_fn(c - b);
+  } else {
+    ec = 1.0;
+    ea = exp_fn(a - c);
+    eb = exp_fn(b - c);
+  }
+  return (0.1 * ea + 0.5 * eb + ec) / (ea + eb + ec);
+}
+
+/// Scalar phi with the fast exponential (the production configuration).
+inline double phi_fast(double x, double t) {
+  return phi(x, t, [](double v) { return kern::exp_fast(v); });
+}
+
+/// Scalar phi with the IEEE exponential (reference accuracy).
+inline double phi_ieee(double x, double t) {
+  return phi(x, t, [](double v) { return kern::exp_ieee(v); });
+}
+
+/// Exact solution of the 3D model problem.
+inline double exact_solution(double x, double y, double z, double t) {
+  return phi_ieee(x, t) * phi_ieee(y, t) * phi_ieee(z, t);
+}
+
+}  // namespace usw::apps::burgers

@@ -1,0 +1,257 @@
+#include "apps/heat/heat_app.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "kern/simd4.h"
+#include "support/error.h"
+
+namespace usw::apps::heat {
+namespace {
+
+using kern::FieldView;
+using kern::KernelEnv;
+using kern::Vec4;
+
+/// Diffusivity (and the per-stage fraction of dt) is baked into the kernel
+/// closures at graph-build time; the rest of the environment arrives per
+/// step via KernelEnv.
+struct HeatCell {
+  double alpha;
+  double dt_factor;  ///< fraction of the step this stage advances
+
+  inline void operator()(const KernelEnv& env, const FieldView& u0,
+                         const FieldView& u1, int i, int j, int k) const {
+    const double u = *u0.ptr(i, j, k);
+    const double lap =
+        (-2.0 * u + (*u0.ptr(i - 1, j, k) + *u0.ptr(i + 1, j, k))) /
+            (env.dx * env.dx) +
+        (-2.0 * u + (*u0.ptr(i, j - 1, k) + *u0.ptr(i, j + 1, k))) /
+            (env.dy * env.dy) +
+        (-2.0 * u + (*u0.ptr(i, j, k - 1) + *u0.ptr(i, j, k + 1))) /
+            (env.dz * env.dz);
+    *u1.ptr(i, j, k) = u + (env.dt * dt_factor) * (alpha * lap);
+  }
+};
+
+hw::KernelCost heat_cost() {
+  hw::KernelCost c;
+  c.flops_per_cell = 12.0;
+  c.divs_per_cell = 3.0;
+  c.bytes_read_per_cell = 8.0;
+  c.bytes_written_per_cell = 8.0;
+  return c;
+}
+
+kern::KernelVariants make_heat_kernel(double alpha, grid::IntVec tile_shape,
+                                      double dt_factor) {
+  kern::KernelVariants kv;
+  kv.cost = heat_cost();
+  kv.ghost = 1;
+  kv.tile_shape = tile_shape;
+  const HeatCell cell{alpha, dt_factor};
+  kv.scalar = [cell](const KernelEnv& env, const FieldView& in,
+                     const FieldView& out, const grid::Box& region) {
+    for (int k = region.lo.z; k < region.hi.z; ++k)
+      for (int j = region.lo.y; j < region.hi.y; ++j)
+        for (int i = region.lo.x; i < region.hi.x; ++i)
+          cell(env, in, out, i, j, k);
+  };
+  kv.simd = [cell, alpha](const KernelEnv& env, const FieldView& in,
+                          const FieldView& out, const grid::Box& region) {
+    const Vec4 vm2 = Vec4::broadcast(-2.0);
+    const Vec4 vdx2 = Vec4::broadcast(env.dx * env.dx);
+    const Vec4 vdy2 = Vec4::broadcast(env.dy * env.dy);
+    const Vec4 vdz2 = Vec4::broadcast(env.dz * env.dz);
+    const Vec4 valpha = Vec4::broadcast(alpha);
+    const Vec4 vdt = Vec4::broadcast(env.dt * cell.dt_factor);
+    for (int k = region.lo.z; k < region.hi.z; ++k)
+      for (int j = region.lo.y; j < region.hi.y; ++j) {
+        int i = region.lo.x;
+        for (; i + 4 <= region.hi.x; i += 4) {
+          const Vec4 u = Vec4::loadu(in.ptr(i, j, k));
+          const Vec4 lap =
+              Vec4::vmad(vm2, u, Vec4::loadu(in.ptr(i - 1, j, k)) +
+                                     Vec4::loadu(in.ptr(i + 1, j, k))) /
+                  vdx2 +
+              Vec4::vmad(vm2, u, Vec4::loadu(in.ptr(i, j - 1, k)) +
+                                     Vec4::loadu(in.ptr(i, j + 1, k))) /
+                  vdy2 +
+              Vec4::vmad(vm2, u, Vec4::loadu(in.ptr(i, j, k - 1)) +
+                                     Vec4::loadu(in.ptr(i, j, k + 1))) /
+                  vdz2;
+          Vec4::vmad(vdt, Vec4::vmuld(valpha, lap), u).storeu(out.ptr(i, j, k));
+        }
+        for (; i < region.hi.x; ++i) cell(env, in, out, i, j, k);
+      }
+  };
+  return kv;
+}
+
+hw::KernelCost analytic_cost() {
+  hw::KernelCost c;
+  c.flops_per_cell = 8.0;  // three sin evaluations approximated as flops
+  c.bytes_written_per_cell = 8.0;
+  return c;
+}
+
+}  // namespace
+
+const var::VarLabel* HeatApp::t_label() { return var::VarLabel::create("temperature"); }
+const var::VarLabel* HeatApp::half_label() {
+  return var::VarLabel::create("temperature_half");
+}
+const var::VarLabel* HeatApp::norm_label() {
+  return var::VarLabel::create("temperature_norm2");
+}
+
+double HeatApp::exact(double x, double y, double z, double t) const {
+  constexpr double pi = std::numbers::pi;
+  return std::exp(-3.0 * config_.alpha * pi * pi * t) * std::sin(pi * x) *
+         std::sin(pi * y) * std::sin(pi * z);
+}
+
+void HeatApp::build_init_graph(task::TaskGraph& graph,
+                               const grid::Level& level) const {
+  (void)level;
+  auto init = task::Task::make_mpe(
+      "heat_init",
+      [this](const task::TaskContext& ctx, const grid::Patch& patch) -> TimePs {
+        var::DataWarehouse& dw = *ctx.new_dw;
+        const int ghost = dw.ghost_of(t_label(), patch.id());
+        const grid::Box region = patch.ghosted(ghost);
+        if (ctx.functional) {
+          var::CCVariable<double>& u = dw.get(t_label(), patch.id());
+          for (int k = region.lo.z; k < region.hi.z; ++k)
+            for (int j = region.lo.y; j < region.hi.y; ++j)
+              for (int i = region.lo.x; i < region.hi.x; ++i)
+                u(i, j, k) = exact(i * ctx.level->dx(), j * ctx.level->dy(),
+                                   k * ctx.level->dz(), 0.0);
+        }
+        return ctx.cost->mpe_compute(
+            static_cast<std::uint64_t>(region.volume()), analytic_cost());
+      });
+  init->add_computes(t_label());
+  graph.add(std::move(init));
+}
+
+std::unique_ptr<task::Task> HeatApp::make_boundary_task(
+    const std::string& name, const var::VarLabel* label, double time_frac) const {
+  auto boundary = task::Task::make_mpe(
+      name,
+      [this, label, time_frac](const task::TaskContext& ctx,
+                               const grid::Patch& patch) -> TimePs {
+        var::DataWarehouse& dw = *ctx.new_dw;
+        const int ghost = dw.ghost_of(label, patch.id());
+        const grid::Box domain = ctx.level->domain();
+        const grid::Box g = patch.ghosted(ghost);
+        std::uint64_t cells = 0;
+        for (int axis = 0; axis < 3; ++axis) {
+          for (int side = 0; side < 2; ++side) {
+            grid::Box slab = g;
+            if (side == 0) {
+              if (g.lo[axis] >= domain.lo[axis]) continue;
+              slab.hi[axis] = domain.lo[axis];
+            } else {
+              if (g.hi[axis] <= domain.hi[axis]) continue;
+              slab.lo[axis] = domain.hi[axis];
+            }
+            cells += static_cast<std::uint64_t>(slab.volume());
+            if (ctx.functional) {
+              var::CCVariable<double>& u = dw.get(label, patch.id());
+              const double t_bc = ctx.time + ctx.dt * time_frac;
+              for (int k = slab.lo.z; k < slab.hi.z; ++k)
+                for (int j = slab.lo.y; j < slab.hi.y; ++j)
+                  for (int i = slab.lo.x; i < slab.hi.x; ++i)
+                    u(i, j, k) = exact(i * ctx.level->dx(), j * ctx.level->dy(),
+                                       k * ctx.level->dz(), t_bc);
+            }
+          }
+        }
+        return ctx.cost->mpe_compute(cells, analytic_cost());
+      });
+  boundary->add_modifies(label);
+  return boundary;
+}
+
+void HeatApp::build_step_graph(task::TaskGraph& graph,
+                               const grid::Level& level) const {
+  (void)level;
+  USW_ASSERT_MSG(config_.stages == 1 || config_.stages == 2,
+                 "HeatApp supports 1 or 2 stages");
+  if (config_.stages == 1) {
+    graph.add(task::Task::make_stencil(
+        "heat_advance", t_label(), t_label(),
+        make_heat_kernel(config_.alpha, config_.tile_shape, 1.0)));
+    graph.add(make_boundary_task("heat_boundary", t_label(), 1.0));
+  } else {
+    // Stage 1: temperature(old) -> temperature_half(new), advancing dt/2;
+    // its boundary values are set at t + dt/2. Stage 2 consumes the
+    // *same-step* halo of temperature_half — including remote exchange of
+    // the freshly computed data — and advances the second dt/2.
+    graph.add(task::Task::make_stencil(
+        "heat_stage1", t_label(), half_label(),
+        make_heat_kernel(config_.alpha, config_.tile_shape, 0.5)));
+    graph.add(make_boundary_task("heat_boundary_half", half_label(), 0.5));
+    graph.add(task::Task::make_stencil(
+        "heat_stage2", half_label(), t_label(),
+        make_heat_kernel(config_.alpha, config_.tile_shape, 0.5),
+        task::WhichDW::kNew));
+    graph.add(make_boundary_task("heat_boundary", t_label(), 1.0));
+  }
+
+  auto reduce = task::Task::make_reduction(
+      "temperature_norm2", norm_label(), task::ReduceOp::kSum,
+      [](const task::TaskContext& ctx, const grid::Patch& patch) -> double {
+        const var::CCVariable<double>& u = ctx.new_dw->get(t_label(), patch.id());
+        double s = 0.0;
+        const grid::Box& cells = patch.cells();
+        for (int k = cells.lo.z; k < cells.hi.z; ++k)
+          for (int j = cells.lo.y; j < cells.hi.y; ++j)
+            for (int i = cells.lo.x; i < cells.hi.x; ++i)
+              s += u(i, j, k) * u(i, j, k);
+        return s;
+      });
+  reduce->add_requires(t_label(), task::WhichDW::kNew, 0);
+  graph.add(std::move(reduce));
+}
+
+double HeatApp::fixed_dt(const grid::Level& level) const {
+  if (config_.dt_override > 0.0) return config_.dt_override;
+  const double h = std::min({level.dx(), level.dy(), level.dz()});
+  return config_.cfl_safety * h * h / (6.0 * config_.alpha);
+}
+
+void HeatApp::on_rank_complete(const task::TaskContext& ctx, comm::Comm& comm,
+                               std::span<const int> my_patches,
+                               std::map<std::string, double>& metrics) const {
+  if (!ctx.functional) return;
+  double linf = 0.0;
+  double l2sum = 0.0;
+  double cells = 0.0;
+  for (int pid : my_patches) {
+    const var::CCVariable<double>& u = ctx.old_dw->get(t_label(), pid);
+    const grid::Box interior = ctx.level->patch(pid).cells();
+    for (int k = interior.lo.z; k < interior.hi.z; ++k)
+      for (int j = interior.lo.y; j < interior.hi.y; ++j)
+        for (int i = interior.lo.x; i < interior.hi.x; ++i) {
+          const double err =
+              u(i, j, k) - exact(i * ctx.level->dx(), j * ctx.level->dy(),
+                                 k * ctx.level->dz(), ctx.time);
+          linf = std::max(linf, std::abs(err));
+          l2sum += err * err;
+          cells += 1.0;
+        }
+  }
+  linf = comm.allreduce_max(linf);
+  l2sum = comm.allreduce_sum(l2sum);
+  cells = comm.allreduce_sum(cells);
+  metrics["linf_error"] = linf;
+  metrics["l2_error"] = std::sqrt(l2sum / cells);
+  if (ctx.old_dw->has_reduction(norm_label()))
+    metrics["norm2"] = ctx.old_dw->get_reduction(norm_label());
+}
+
+}  // namespace usw::apps::heat

@@ -1,0 +1,136 @@
+#include "athread/athread.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.h"
+
+namespace usw::athread {
+
+void CpeContext::get(const void* src, void* dst, std::size_t bytes,
+                     bool strided) {
+  if (src != nullptr && dst != nullptr) std::memcpy(dst, src, bytes);
+  busy_ += dma_cost(bytes, strided);
+  if (counters_ != nullptr) counters_->dma_bytes_in += bytes;
+}
+
+void CpeContext::put(const void* src, void* dst, std::size_t bytes,
+                     bool strided) {
+  if (src != nullptr && dst != nullptr) std::memcpy(dst, src, bytes);
+  busy_ += dma_cost(bytes, strided);
+  if (counters_ != nullptr) counters_->dma_bytes_out += bytes;
+}
+
+TimePs CpeContext::dma_cost(std::size_t bytes, bool strided) const {
+  return cost_.cpe_dma(bytes, cluster_cpes_, strided);
+}
+
+void CpeContext::count_dma(std::size_t bytes_in, std::size_t bytes_out) {
+  if (counters_ == nullptr) return;
+  counters_->dma_bytes_in += bytes_in;
+  counters_->dma_bytes_out += bytes_out;
+}
+
+void CpeContext::compute(std::uint64_t cells, const hw::KernelCost& kc,
+                         bool simd, bool ieee_exp) {
+  busy_ += compute_cost(cells, kc, simd, ieee_exp);
+  count_compute(cells, kc);
+}
+
+TimePs CpeContext::compute_cost(std::uint64_t cells, const hw::KernelCost& kc,
+                                bool simd, bool ieee_exp) const {
+  return cost_.cpe_compute(cells, kc, simd, ieee_exp);
+}
+
+void CpeContext::count_compute(std::uint64_t cells, const hw::KernelCost& kc) {
+  if (counters_ != nullptr) counters_->count_kernel_cells(cells, kc);
+}
+
+CpeCluster::CpeCluster(const hw::CostModel& cost, sim::Coordinator& coord,
+                       int rank, hw::PerfCounters* counters, int n_groups)
+    : cost_(cost), coord_(coord), rank_(rank), counters_(counters),
+      ldm_(cost.params().ldm_bytes) {
+  const int cpes = cost.params().cpes_per_cg;
+  if (n_groups < 1 || cpes % n_groups != 0)
+    throw ConfigError("CPE group count " + std::to_string(n_groups) +
+                      " must divide the CPE count " + std::to_string(cpes));
+  groups_.resize(static_cast<std::size_t>(n_groups));
+  for (Group& g : groups_)
+    g.cpe_done.assign(static_cast<std::size_t>(cpes / n_groups), 0);
+}
+
+void CpeCluster::spawn(const CpeJob& job, int g) {
+  Group& group = groups_.at(static_cast<std::size_t>(g));
+  USW_ASSERT_MSG(!group.in_flight, "spawn while an offload is already in flight");
+  coord_.advance(rank_, cost_.offload_launch());
+  group.spawn_time = coord_.now(rank_);
+  group.completion = group.spawn_time;
+  const int n = group_size();
+  for (int id = 0; id < n; ++id) {
+    ldm_.reset();
+    CpeContext ctx(id, n, n_cpes(), ldm_, cost_, counters_);
+    job(ctx);
+    group.cpe_done[static_cast<std::size_t>(id)] = group.spawn_time + ctx.busy();
+    group.completion =
+        std::max(group.completion, group.cpe_done[static_cast<std::size_t>(id)]);
+  }
+  group.in_flight = true;
+  if (counters_ != nullptr) {
+    counters_->kernels_offloaded += 1;
+    counters_->kernel_time += group.completion - group.spawn_time;
+  }
+}
+
+bool CpeCluster::in_flight(int g) const {
+  return groups_.at(static_cast<std::size_t>(g)).in_flight;
+}
+
+bool CpeCluster::any_in_flight() const {
+  for (const Group& g : groups_)
+    if (g.in_flight) return true;
+  return false;
+}
+
+bool CpeCluster::poll(int g) {
+  Group& group = groups_.at(static_cast<std::size_t>(g));
+  USW_ASSERT_MSG(group.in_flight, "poll with no offload in flight");
+  coord_.advance(rank_, cost_.flag_poll());
+  if (coord_.now(rank_) >= group.completion) {
+    group.in_flight = false;
+    return true;
+  }
+  return false;
+}
+
+int CpeCluster::flag(int g) const {
+  const Group& group = groups_.at(static_cast<std::size_t>(g));
+  const TimePs now = coord_.now(rank_);
+  int count = 0;
+  for (TimePs done : group.cpe_done)
+    if (done <= now) ++count;
+  return count;
+}
+
+TimePs CpeCluster::completion_time(int g) const {
+  const Group& group = groups_.at(static_cast<std::size_t>(g));
+  USW_ASSERT_MSG(group.in_flight, "completion_time with no offload in flight");
+  return group.completion;
+}
+
+TimePs CpeCluster::earliest_completion() const {
+  TimePs earliest = sim::kNever;
+  for (const Group& g : groups_)
+    if (g.in_flight) earliest = std::min(earliest, g.completion);
+  return earliest;
+}
+
+void CpeCluster::join(int g) {
+  Group& group = groups_.at(static_cast<std::size_t>(g));
+  USW_ASSERT_MSG(group.in_flight, "join with no offload in flight");
+  const TimePs before = coord_.now(rank_);
+  coord_.wait_until(rank_, group.completion);
+  if (counters_ != nullptr) counters_->wait_time += coord_.now(rank_) - before;
+  group.in_flight = false;
+}
+
+}  // namespace usw::athread

@@ -1,0 +1,162 @@
+#pragma once
+
+// Emulation of Sunway's `athread` offload interface (Sec IV-B).
+//
+// On the real machine, the MPE spawns a group of lightweight threads (one
+// per CPE) running a kernel function; the kernel stages data between main
+// memory and its 64 KB LDM with athread_get/athread_put DMA calls and
+// finally increments a completion flag in shared main memory with the
+// `faaw` atomic. The MPE polls that flag to detect completion — this is
+// what makes the paper's asynchronous scheduler possible.
+//
+// This emulation keeps the exact protocol but swaps the backend:
+//   * functionally, each CPE's kernel body runs on the host thread at spawn
+//     time, staging real data through a real capacity-checked Ldm buffer —
+//     so numerics, LDM overflow, and tile logic are all genuinely exercised;
+//   * temporally, each CPE accumulates virtual busy time (DMA + compute via
+//     the CostModel) and the cluster's completion time is
+//     spawn_time + max over CPEs — the MPE observes the flag set only once
+//     its virtual clock passes that point.
+//
+// The cluster can be partitioned into 1..64 equal CPE *groups* (the paper's
+// future-work item "group CPEs and schedule different patches to different
+// groups"): each group has its own completion flag and can run its own
+// kernel concurrently with the others.
+//
+// Because results are materialized eagerly but are virtually "not yet
+// computed" until the flag is set, callers must not consume results before
+// poll()/join() reports completion; the schedulers respect this.
+
+#include <functional>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "hw/ldm.h"
+#include "hw/perf_counters.h"
+#include "sim/coordinator.h"
+#include "support/units.h"
+
+namespace usw::athread {
+
+/// Per-CPE execution context handed to the kernel body.
+class CpeContext {
+ public:
+  CpeContext(int cpe_id, int n_cpes, int cluster_cpes, hw::Ldm& ldm,
+             const hw::CostModel& cost, hw::PerfCounters* counters)
+      : cpe_id_(cpe_id), n_cpes_(n_cpes), cluster_cpes_(cluster_cpes),
+        ldm_(ldm), cost_(cost), counters_(counters) {}
+
+  /// Id of this CPE within its group.
+  int cpe_id() const { return cpe_id_; }
+  /// CPEs in this group (64 for whole-cluster offloads).
+  int n_cpes() const { return n_cpes_; }
+
+  /// This CPE's scratch-pad. Allocate tile buffers from it; overflow
+  /// throws ResourceError exactly like exceeding the hardware LDM.
+  hw::Ldm& ldm() { return ldm_; }
+
+  /// athread_get: synchronous DMA main memory -> LDM. `src` may be null in
+  /// timing-only mode (no copy, cost still charged). `strided` transfers
+  /// run at reduced DMA efficiency (row-by-row tile staging).
+  void get(const void* src, void* dst, std::size_t bytes, bool strided = true);
+
+  /// athread_put: synchronous DMA LDM -> main memory.
+  void put(const void* src, void* dst, std::size_t bytes, bool strided = true);
+
+  /// Cost of one DMA of `bytes` without charging it (for the double-
+  /// buffered pipeline, which overlaps DMA with compute).
+  TimePs dma_cost(std::size_t bytes, bool strided = true) const;
+  /// Records DMA traffic in the counters without charging time.
+  void count_dma(std::size_t bytes_in, std::size_t bytes_out);
+
+  /// Charges compute time for `cells` cells of `kc` and counts its flops.
+  void compute(std::uint64_t cells, const hw::KernelCost& kc, bool simd,
+               bool ieee_exp = false);
+
+  /// Cost of the same compute without charging it.
+  TimePs compute_cost(std::uint64_t cells, const hw::KernelCost& kc, bool simd,
+                      bool ieee_exp = false) const;
+  /// Counts cells/flops without charging time.
+  void count_compute(std::uint64_t cells, const hw::KernelCost& kc);
+
+  /// Charges raw virtual time (e.g. tile-loop setup or pipelined stages).
+  void charge(TimePs dt) { busy_ += dt; }
+
+  /// Bumps the executed-tile counter.
+  void count_tile() {
+    if (counters_ != nullptr) counters_->tiles_executed += 1;
+  }
+
+  const hw::CostModel& cost() const { return cost_; }
+
+  TimePs busy() const { return busy_; }
+
+ private:
+  int cpe_id_;
+  int n_cpes_;
+  int cluster_cpes_;  ///< DMA contention is against the whole cluster
+  hw::Ldm& ldm_;
+  const hw::CostModel& cost_;
+  hw::PerfCounters* counters_;
+  TimePs busy_ = 0;
+};
+
+/// Kernel body run once per CPE of the target group.
+using CpeJob = std::function<void(CpeContext&)>;
+
+/// The 64-CPE cluster of one core-group, driven by one rank (its MPE),
+/// optionally partitioned into independent groups.
+class CpeCluster {
+ public:
+  /// `n_groups` must divide the CPE count; each group owns
+  /// cpes_per_cg / n_groups CPEs and an independent completion flag.
+  CpeCluster(const hw::CostModel& cost, sim::Coordinator& coord, int rank,
+             hw::PerfCounters* counters = nullptr, int n_groups = 1);
+
+  int n_cpes() const { return cost_.params().cpes_per_cg; }
+  int n_groups() const { return static_cast<int>(groups_.size()); }
+  int group_size() const { return n_cpes() / n_groups(); }
+
+  /// Offloads `job` to group `g`. Charges offload_launch of MPE time,
+  /// executes the per-CPE bodies functionally, and records the virtual
+  /// completion time. The group must be idle.
+  void spawn(const CpeJob& job, int g = 0);
+
+  /// True between spawn() and the flag being observed complete.
+  bool in_flight(int g = 0) const;
+  /// True if any group has an offload in flight.
+  bool any_in_flight() const;
+
+  /// Polls group g's completion flag (charges flag_poll of MPE time).
+  bool poll(int g = 0);
+
+  /// Current flag value of group g: CPEs whose virtual completion the MPE
+  /// clock has passed (the faaw counter an MPE would read).
+  int flag(int g = 0) const;
+
+  /// Completion time of the offload in flight on group g.
+  TimePs completion_time(int g = 0) const;
+  /// Earliest completion among all in-flight groups (kNever if none).
+  TimePs earliest_completion() const;
+
+  /// Blocks (virtual time) until group g's offload completes; the
+  /// synchronous MPE+CPE mode's spin loop.
+  void join(int g = 0);
+
+ private:
+  struct Group {
+    bool in_flight = false;
+    TimePs spawn_time = 0;
+    TimePs completion = 0;
+    std::vector<TimePs> cpe_done;
+  };
+
+  const hw::CostModel& cost_;
+  sim::Coordinator& coord_;
+  int rank_;
+  hw::PerfCounters* counters_;
+  hw::Ldm ldm_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace usw::athread

@@ -1,0 +1,311 @@
+#include "comm/comm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.h"
+#include "support/log.h"
+
+namespace usw::comm {
+
+namespace {
+/// Tag space reserved for collectives; user tags must stay below this.
+constexpr int kCollectiveTagBase = 1 << 28;
+}  // namespace
+
+Network::Network(int nranks, const hw::CostModel& cost)
+    : cost_(cost), mailboxes_(static_cast<std::size_t>(nranks)),
+      link_free_(static_cast<std::size_t>(nranks), 0) {
+  USW_ASSERT_MSG(nranks > 0, "network needs at least one rank");
+}
+
+TimePs Network::reserve_link(int src, TimePs post_time, std::uint64_t bytes) {
+  TimePs& free = link_free_.at(static_cast<std::size_t>(src));
+  const TimePs start = std::max(post_time, free);
+  const TimePs wire = seconds_to_ps(static_cast<double>(bytes) /
+                                    cost_.params().net_bw_bytes_per_s);
+  free = start + wire;
+  return free;
+}
+
+void Network::deliver(Message msg) {
+  USW_ASSERT(msg.dst >= 0 && msg.dst < size());
+  mailboxes_[static_cast<std::size_t>(msg.dst)].push_back(std::move(msg));
+}
+
+Comm::Comm(Network& net, sim::Coordinator& coord, int rank,
+           hw::PerfCounters* counters)
+    : net_(net), coord_(coord), rank_(rank), counters_(counters) {
+  USW_ASSERT(rank >= 0 && rank < net.size());
+}
+
+RequestId Comm::post_send(int dst, int tag, std::uint64_t bytes,
+                          std::vector<std::byte> payload) {
+  USW_ASSERT_MSG(dst >= 0 && dst < size(), "send to invalid rank");
+  USW_ASSERT_MSG(dst != rank_, "self-sends are not modeled; use local copies");
+  const TimePs post = net_.cost().mpi_post_overhead();
+  coord_.advance(rank_, post);
+  if (counters_ != nullptr) {
+    counters_->comm_time += post;
+    counters_->messages_sent += 1;
+    counters_->bytes_sent += bytes;
+  }
+
+  Message msg;
+  msg.src = rank_;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.bytes = bytes;
+  msg.seq = net_.next_seq();
+  msg.payload = std::move(payload);
+
+  const TimePs now = coord_.now(rank_);
+  // The sender's NIC serializes injections; latency applies after the last
+  // byte leaves the link.
+  const TimePs injected = net_.reserve_link(rank_, now, bytes);
+  msg.arrival =
+      injected + net_.cost().params().net_latency + net_.cost().params().mpi_sw_latency;
+
+  Request req;
+  req.kind = Kind::kSend;
+  req.peer = dst;
+  req.tag = tag;
+  req.bytes = bytes;
+  // Eager protocol: the send completes locally once the message has been
+  // injected into the network.
+  req.complete_stamp = injected;
+
+  coord_.notify(dst, msg.arrival);
+  net_.deliver(std::move(msg));
+
+  requests_.push_back(std::move(req));
+  return requests_.size() - 1;
+}
+
+RequestId Comm::isend(int dst, int tag, std::span<const std::byte> data) {
+  std::vector<std::byte> payload(data.begin(), data.end());
+  return post_send(dst, tag, data.size(), std::move(payload));
+}
+
+RequestId Comm::isend_bytes(int dst, int tag, std::uint64_t bytes) {
+  return post_send(dst, tag, bytes, {});
+}
+
+RequestId Comm::irecv(int src, int tag) {
+  USW_ASSERT_MSG(src >= 0 && src < size(), "recv from invalid rank");
+  USW_ASSERT_MSG(src != rank_, "self-receives are not modeled");
+  const TimePs post = net_.cost().mpi_post_overhead();
+  coord_.advance(rank_, post);
+  if (counters_ != nullptr) counters_->comm_time += post;
+  Request req;
+  req.kind = Kind::kRecv;
+  req.peer = src;
+  req.tag = tag;
+  requests_.push_back(std::move(req));
+  return requests_.size() - 1;
+}
+
+void Comm::match_visible() {
+  auto& box = net_.mailbox(rank_);
+  if (box.empty()) return;
+  const TimePs now = coord_.now(rank_);
+  // Deliver messages in send order (MPI non-overtaking rule) to pending
+  // receives in post order.
+  std::sort(box.begin(), box.end(),
+            [](const Message& a, const Message& b) { return a.seq < b.seq; });
+  for (auto it = box.begin(); it != box.end();) {
+    if (it->arrival > now) {
+      ++it;
+      continue;
+    }
+    Request* target = nullptr;
+    for (auto& req : requests_) {
+      if (req.kind == Kind::kRecv && !req.done && req.peer == it->src &&
+          req.tag == it->tag) {
+        target = &req;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      ++it;  // unexpected message; stays buffered
+      continue;
+    }
+    target->done = true;
+    target->bytes = it->bytes;
+    target->complete_stamp = it->arrival;
+    target->payload = std::move(it->payload);
+    if (counters_ != nullptr) {
+      counters_->messages_received += 1;
+      counters_->bytes_received += target->bytes;
+    }
+    it = box.erase(it);
+  }
+}
+
+bool Comm::test(RequestId id) {
+  Request& req = requests_.at(id);
+  if (req.done) return true;
+  coord_.gate(rank_);
+  const TimePs cost = net_.cost().mpi_test_overhead();
+  coord_.advance(rank_, cost);
+  if (counters_ != nullptr) counters_->comm_time += cost;
+  if (req.kind == Kind::kSend) {
+    if (coord_.now(rank_) >= req.complete_stamp) req.done = true;
+  } else {
+    match_visible();
+  }
+  return req.done;
+}
+
+std::size_t Comm::test_bulk(std::span<const RequestId> ids) {
+  coord_.gate(rank_);
+  const TimePs cost =
+      net_.cost().mpi_test_overhead() +
+      static_cast<TimePs>(ids.size()) * net_.cost().params().mpi_test_each;
+  coord_.advance(rank_, cost);
+  if (counters_ != nullptr) counters_->comm_time += cost;
+  match_visible();
+  const TimePs now = coord_.now(rank_);
+  std::size_t n_done = 0;
+  for (RequestId id : ids) {
+    Request& req = requests_.at(id);
+    if (!req.done && req.kind == Kind::kSend && now >= req.complete_stamp)
+      req.done = true;
+    if (req.done) ++n_done;
+  }
+  return n_done;
+}
+
+bool Comm::done(RequestId id) const { return requests_.at(id).done; }
+
+void Comm::wait(RequestId id) {
+  const RequestId ids[] = {id};
+  wait_all(ids);
+}
+
+void Comm::wait_all(std::span<const RequestId> ids) {
+  for (;;) {
+    bool all_done = true;
+    for (RequestId id : ids)
+      if (!test(id)) all_done = false;
+    if (all_done) return;
+    const TimePs wake = earliest_known_completion(ids);
+    const TimePs before = coord_.now(rank_);
+    coord_.wait_until(rank_, wake);
+    if (counters_ != nullptr) counters_->wait_time += coord_.now(rank_) - before;
+  }
+}
+
+std::vector<std::byte> Comm::take_payload(RequestId id) {
+  Request& req = requests_.at(id);
+  USW_ASSERT_MSG(req.done && req.kind == Kind::kRecv,
+                 "take_payload of incomplete or non-receive request");
+  return std::move(req.payload);
+}
+
+std::uint64_t Comm::request_bytes(RequestId id) const {
+  const Request& req = requests_.at(id);
+  USW_ASSERT_MSG(req.done, "request_bytes of incomplete request");
+  return req.bytes;
+}
+
+TimePs Comm::earliest_known_completion(std::span<const RequestId> ids) const {
+  TimePs wake = sim::kNever;
+  const auto& box = net_.mailbox(rank_);
+  for (RequestId id : ids) {
+    const Request& req = requests_.at(id);
+    if (req.done) continue;
+    if (req.kind == Kind::kSend) {
+      wake = std::min(wake, req.complete_stamp);
+    } else {
+      for (const Message& msg : box)
+        if (msg.src == req.peer && msg.tag == req.tag)
+          wake = std::min(wake, msg.arrival);
+    }
+  }
+  return wake;
+}
+
+double Comm::allreduce(double value, int op) {
+  // Binomial-tree reduce to rank 0 followed by a binomial-tree broadcast.
+  // Collectives use a private tag space; every rank must call collectives
+  // in the same order, which keeps the per-rank sequence numbers aligned.
+  static_assert(sizeof(double) == 8);
+  if (counters_ != nullptr) counters_->reductions += 1;
+  const int n = size();
+  if (n == 1) return value;
+  const int tag = kCollectiveTagBase + (coll_seq_++ & 0x0fffffff);
+  auto combine = [op](double a, double b) {
+    if (op == 0) return a + b;
+    if (op == 1) return std::min(a, b);
+    return std::max(a, b);
+  };
+  double acc = value;
+  const TimePs hop = net_.cost().params().coll_hop_latency;
+  // Reduce.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((rank_ & mask) != 0) {
+      coord_.advance(rank_, hop);
+      std::byte buf[8];
+      std::memcpy(buf, &acc, 8);
+      const RequestId s = isend((rank_ & ~mask), tag, buf);
+      wait(s);
+      break;
+    }
+    const int peer = rank_ | mask;
+    if (peer < n) {
+      coord_.advance(rank_, hop);
+      const RequestId r = irecv(peer, tag);
+      wait(r);
+      const auto payload = take_payload(r);
+      USW_ASSERT(payload.size() == 8);
+      double other = 0.0;
+      std::memcpy(&other, payload.data(), 8);
+      acc = combine(acc, other);
+    }
+  }
+  // Broadcast.
+  int mask = 1;
+  while (mask < n) mask <<= 1;
+  for (mask >>= 1; mask > 0; mask >>= 1) {
+    if ((rank_ & (2 * mask - 1)) == 0) {
+      const int peer = rank_ | mask;
+      if (peer < n) {
+        coord_.advance(rank_, hop);
+        std::byte buf[8];
+        std::memcpy(buf, &acc, 8);
+        const RequestId s = isend(peer, tag + (1 << 27), buf);
+        wait(s);
+      }
+    } else if ((rank_ & (2 * mask - 1)) == mask) {
+      coord_.advance(rank_, hop);
+      const RequestId r = irecv(rank_ & ~mask, tag + (1 << 27));
+      wait(r);
+      const auto payload = take_payload(r);
+      USW_ASSERT(payload.size() == 8);
+      std::memcpy(&acc, payload.data(), 8);
+    }
+  }
+  return acc;
+}
+
+double Comm::allreduce_sum(double value) { return allreduce(value, 0); }
+double Comm::allreduce_min(double value) { return allreduce(value, 1); }
+double Comm::allreduce_max(double value) { return allreduce(value, 2); }
+
+void Comm::barrier() { (void)allreduce(0.0, 0); }
+
+void Comm::reset_requests() {
+  USW_ASSERT_MSG(pending_requests() == 0,
+                 "reset_requests with operations still pending");
+  requests_.clear();
+}
+
+std::size_t Comm::pending_requests() const {
+  std::size_t n = 0;
+  for (const auto& req : requests_)
+    if (!req.done) ++n;
+  return n;
+}
+
+}  // namespace usw::comm

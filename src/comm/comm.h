@@ -1,0 +1,183 @@
+#pragma once
+
+// MPI-like nonblocking message passing between simulated ranks.
+//
+// This is the substrate under the schedulers: nonblocking sends/receives
+// with (source, tag) matching, tested by polling — exactly the operations
+// the paper's MPE task scheduler performs (Sec V-C steps 3a/3(b)i/3c) —
+// plus tree-based collectives for Uintah's reduction tasks.
+//
+// Timing semantics (all in virtual time, charged via the Coordinator):
+//   * posting a send/receive costs MachineParams::mpi_post_overhead of MPE
+//     time; each test costs mpi_test_overhead (nonblocking MPI on Sunway
+//     progresses only when the host processor polls, see paper [18]);
+//   * each rank's NIC injects one message at a time: a message posted at
+//     time S starts on the wire at max(S, link free), occupies the link
+//     for bytes / net_bw, and becomes matchable at the receiver
+//     net_latency + mpi_sw_latency after its wire time ends. A burst of
+//     sends (e.g. all step-start halo messages) therefore serializes on
+//     the sender's link, as on real hardware;
+//   * ghost-buffer packing time is charged separately by the scheduler via
+//     CostModel::mpe_pack, not here.
+//
+// Thread safety: the Network object is shared by all rank threads but is
+// only ever touched by the rank currently holding the Coordinator token;
+// token handoff through the Coordinator's mutex provides the necessary
+// happens-before edges. Do not access a Comm from a thread that does not
+// hold its rank's token.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "hw/cost_model.h"
+#include "hw/perf_counters.h"
+#include "sim/coordinator.h"
+#include "support/units.h"
+
+namespace usw::comm {
+
+/// Opaque handle to a pending operation, index into the endpoint's table.
+using RequestId = std::size_t;
+
+/// In-flight or arrived message.
+struct Message {
+  int src = -1;
+  int dst = -1;
+  int tag = -1;
+  std::uint64_t bytes = 0;
+  TimePs arrival = 0;          ///< virtual time it becomes matchable
+  std::uint64_t seq = 0;       ///< global send order, for MPI matching rules
+  std::vector<std::byte> payload;  ///< empty in timing-only mode
+};
+
+/// Shared mail system: one mailbox per rank.
+class Network {
+ public:
+  Network(int nranks, const hw::CostModel& cost);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+  const hw::CostModel& cost() const { return cost_; }
+
+  /// Deposits a message (called by the sending rank, token held).
+  void deliver(Message msg);
+
+  std::vector<Message>& mailbox(int rank) { return mailboxes_[static_cast<std::size_t>(rank)]; }
+
+  std::uint64_t next_seq() { return seq_++; }
+
+  /// Reserves `src`'s injection link from `post_time` for `bytes`; returns
+  /// the time the last byte leaves the NIC.
+  TimePs reserve_link(int src, TimePs post_time, std::uint64_t bytes);
+
+ private:
+  const hw::CostModel& cost_;
+  std::vector<std::vector<Message>> mailboxes_;
+  std::vector<TimePs> link_free_;  ///< per-rank NIC free time
+  std::uint64_t seq_ = 0;
+};
+
+/// Per-rank endpoint.
+class Comm {
+ public:
+  Comm(Network& net, sim::Coordinator& coord, int rank,
+       hw::PerfCounters* counters = nullptr);
+
+  int rank() const { return rank_; }
+  int size() const { return net_.size(); }
+  TimePs now() const { return coord_.now(rank_); }
+  const Network& net() const { return net_; }
+
+  /// Sleeps (virtual time) until `wake`, or earlier if a message for this
+  /// rank arrives first. kNever waits purely on arrivals.
+  void wait_until_time(TimePs wake) { coord_.wait_until(rank_, wake); }
+
+  /// Charges local MPE time (used by schedulers for their own overheads).
+  void advance(TimePs dt) { coord_.advance(rank_, dt); }
+
+  /// Nonblocking send with payload (functional mode). The data is copied
+  /// at post time (eager protocol).
+  RequestId isend(int dst, int tag, std::span<const std::byte> data);
+
+  /// Nonblocking send of `bytes` without payload (timing-only mode).
+  RequestId isend_bytes(int dst, int tag, std::uint64_t bytes);
+
+  /// Nonblocking receive matching (src, tag).
+  RequestId irecv(int src, int tag);
+
+  /// Tests one request. Gates on virtual time (this observes shared
+  /// state) and charges one mpi_test_overhead.
+  bool test(RequestId id);
+
+  /// Bulk test (MPI_Testsome): gates once, charges mpi_test_overhead plus
+  /// mpi_test_each per listed request, and returns how many of `ids` are
+  /// now complete. Much cheaper in MPE time than testing one by one.
+  std::size_t test_bulk(std::span<const RequestId> ids);
+
+  /// True if the request completed on a previous test (no time charged,
+  /// no gating — pure local lookup).
+  bool done(RequestId id) const;
+
+  /// Blocks (in virtual time) until the request completes.
+  void wait(RequestId id);
+
+  /// Blocks until all listed requests complete.
+  void wait_all(std::span<const RequestId> ids);
+
+  /// Payload of a completed receive (moves it out). Empty in timing-only.
+  std::vector<std::byte> take_payload(RequestId id);
+
+  /// Bytes of a completed receive.
+  std::uint64_t request_bytes(RequestId id) const;
+
+  /// Earliest locally-known future completion among `ids` (send completion
+  /// stamps and already-arrived-but-future matchable messages); kNever if
+  /// none. Used by schedulers to sleep precisely while idle.
+  TimePs earliest_known_completion(std::span<const RequestId> ids) const;
+
+  // ---- Collectives (must be called by all ranks in the same order) ----
+  double allreduce_sum(double value);
+  double allreduce_min(double value);
+  double allreduce_max(double value);
+  void barrier();
+
+  /// Releases completed request slots (call between timesteps).
+  void reset_requests();
+
+  /// Number of posted-but-incomplete requests (test hygiene).
+  std::size_t pending_requests() const;
+
+  hw::PerfCounters* counters() { return counters_; }
+
+ private:
+  enum class Kind : std::uint8_t { kSend, kRecv };
+
+  struct Request {
+    Kind kind = Kind::kSend;
+    int peer = -1;
+    int tag = -1;
+    std::uint64_t bytes = 0;
+    TimePs complete_stamp = 0;  ///< sends: injection done; recvs: arrival
+    bool done = false;
+    std::vector<std::byte> payload;
+  };
+
+  RequestId post_send(int dst, int tag, std::uint64_t bytes,
+                      std::vector<std::byte> payload);
+
+  /// Matches visible mailbox messages against pending receives, respecting
+  /// MPI ordering (message send order vs. receive post order).
+  void match_visible();
+
+  double allreduce(double value, int op);  // 0=sum 1=min 2=max
+
+  Network& net_;
+  sim::Coordinator& coord_;
+  int rank_;
+  hw::PerfCounters* counters_;
+  std::vector<Request> requests_;
+  std::uint32_t coll_seq_ = 0;
+};
+
+}  // namespace usw::comm

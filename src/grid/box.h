@@ -1,0 +1,69 @@
+#pragma once
+
+// Half-open axis-aligned cell index box: [lo, hi) per axis.
+
+#include <optional>
+#include <string>
+
+#include "grid/intvec.h"
+
+namespace usw::grid {
+
+struct Box {
+  IntVec lo;
+  IntVec hi;
+
+  constexpr Box() = default;
+  constexpr Box(IntVec lo_, IntVec hi_) : lo(lo_), hi(hi_) {}
+
+  constexpr IntVec size() const { return hi - lo; }
+  constexpr std::int64_t volume() const {
+    const IntVec s = size();
+    if (s.x <= 0 || s.y <= 0 || s.z <= 0) return 0;
+    return s.volume();
+  }
+  constexpr bool empty() const { return volume() == 0; }
+
+  constexpr bool contains(IntVec p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y &&
+           p.z >= lo.z && p.z < hi.z;
+  }
+  constexpr bool contains(const Box& other) const {
+    return other.empty() ||
+           (other.lo.x >= lo.x && other.hi.x <= hi.x && other.lo.y >= lo.y &&
+            other.hi.y <= hi.y && other.lo.z >= lo.z && other.hi.z <= hi.z);
+  }
+
+  /// Grows the box by `g` cells on every side (ghost extension).
+  constexpr Box grown(int g) const {
+    return Box{lo - IntVec{g, g, g}, hi + IntVec{g, g, g}};
+  }
+  constexpr Box grown(IntVec g) const { return Box{lo - g, hi + g}; }
+
+  /// Intersection; empty box if disjoint.
+  constexpr Box intersect(const Box& other) const {
+    const Box r{IntVec::max(lo, other.lo), IntVec::min(hi, other.hi)};
+    return r.volume() > 0 ? r : Box{r.lo, r.lo};
+  }
+
+  constexpr bool overlaps(const Box& other) const {
+    return !intersect(other).empty();
+  }
+
+  friend constexpr bool operator==(const Box& a, const Box& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend constexpr bool operator!=(const Box& a, const Box& b) { return !(a == b); }
+
+  std::string to_string() const {
+    // Built with append() rather than operator+ chains: GCC 12's -Wrestrict
+    // false-positives on the temporary-concatenation pattern here.
+    std::string s;
+    s.reserve(32);
+    s.append("[").append(lo.to_string()).append(" .. ").append(hi.to_string());
+    s.append(")");
+    return s;
+  }
+};
+
+}  // namespace usw::grid

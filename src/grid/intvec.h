@@ -1,0 +1,72 @@
+#pragma once
+
+// 3D integer index vector used for cells, patch extents, and layouts.
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "support/error.h"
+
+namespace usw::grid {
+
+struct IntVec {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  constexpr IntVec() = default;
+  constexpr IntVec(int x_, int y_, int z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr int& operator[](int axis) { return axis == 0 ? x : (axis == 1 ? y : z); }
+  constexpr int operator[](int axis) const { return axis == 0 ? x : (axis == 1 ? y : z); }
+
+  friend constexpr IntVec operator+(IntVec a, IntVec b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend constexpr IntVec operator-(IntVec a, IntVec b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend constexpr IntVec operator*(IntVec a, IntVec b) { return {a.x * b.x, a.y * b.y, a.z * b.z}; }
+  friend constexpr IntVec operator*(IntVec a, int s) { return {a.x * s, a.y * s, a.z * s}; }
+  friend constexpr IntVec operator/(IntVec a, IntVec b) { return {a.x / b.x, a.y / b.y, a.z / b.z}; }
+  friend constexpr bool operator==(IntVec a, IntVec b) { return a.x == b.x && a.y == b.y && a.z == b.z; }
+  friend constexpr bool operator!=(IntVec a, IntVec b) { return !(a == b); }
+
+  /// Lexicographic order (for deterministic containers).
+  friend constexpr bool operator<(IntVec a, IntVec b) {
+    if (a.x != b.x) return a.x < b.x;
+    if (a.y != b.y) return a.y < b.y;
+    return a.z < b.z;
+  }
+
+  /// Componentwise minimum / maximum.
+  static constexpr IntVec min(IntVec a, IntVec b) {
+    return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y, a.z < b.z ? a.z : b.z};
+  }
+  static constexpr IntVec max(IntVec a, IntVec b) {
+    return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y, a.z > b.z ? a.z : b.z};
+  }
+
+  /// Product of components as a wide integer (cell counts overflow int).
+  constexpr std::int64_t volume() const {
+    return static_cast<std::int64_t>(x) * y * z;
+  }
+
+  std::string to_string() const {
+    return std::to_string(x) + "x" + std::to_string(y) + "x" + std::to_string(z);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, IntVec v) {
+    return os << v.to_string();
+  }
+};
+
+}  // namespace usw::grid
+
+template <>
+struct std::hash<usw::grid::IntVec> {
+  std::size_t operator()(const usw::grid::IntVec& v) const noexcept {
+    std::uint64_t h = static_cast<std::uint32_t>(v.x);
+    h = h * 0x9e3779b97f4a7c15ull + static_cast<std::uint32_t>(v.y);
+    h = h * 0x9e3779b97f4a7c15ull + static_cast<std::uint32_t>(v.z);
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,69 @@
+#pragma once
+
+// Patch-to-rank assignment (Uintah's load balancer role, Sec V-C step 2).
+//
+// The evaluation uses equally-sized patches, so the load balancer reduces
+// to a geometric decomposition: ranks form a 3D block grid and each rank
+// owns a contiguous brick of patches, which minimizes remote faces. A
+// round-robin policy is provided as a deliberately communication-heavy
+// baseline for tests and ablation benches.
+
+#include <span>
+#include <vector>
+
+#include "grid/intvec.h"
+#include "grid/level.h"
+
+namespace usw::grid {
+
+enum class PartitionPolicy {
+  kBlock,         ///< contiguous 3D bricks of patches per rank
+  kRoundRobin,    ///< patch id modulo rank (maximal scatter)
+  kCostBalanced,  ///< contiguous id-order chunks of ~equal estimated cost
+};
+
+class Partition {
+ public:
+  /// Computes the assignment of every patch of `level` to `nranks` ranks.
+  /// For kBlock, `nranks` must not exceed the number of patches and the
+  /// rank grid is chosen by factorizing `nranks` to best match the patch
+  /// layout aspect ratio. kCostBalanced requires per-patch costs via the
+  /// other constructor (this one treats all patches as equal cost).
+  Partition(const Level& level, int nranks, PartitionPolicy policy);
+
+  /// Cost-aware assignment: patches are walked in id order and cut into
+  /// contiguous chunks of approximately equal total cost (Uintah's
+  /// weighted space-filling-curve balancing, on the id curve). `costs`
+  /// must have one positive entry per patch.
+  Partition(const Level& level, int nranks, PartitionPolicy policy,
+            std::span<const double> costs);
+
+  /// Largest rank cost divided by mean rank cost under `costs` (1.0 is a
+  /// perfect balance); diagnostic for tests and benches.
+  double imbalance(std::span<const double> costs) const;
+
+  int nranks() const { return nranks_; }
+
+  /// Owning rank of a patch.
+  int rank_of(int patch_id) const { return owner_.at(static_cast<std::size_t>(patch_id)); }
+
+  /// Patches owned by `rank`, in id order.
+  const std::vector<int>& patches_of(int rank) const {
+    return by_rank_.at(static_cast<std::size_t>(rank));
+  }
+
+  /// The 3D rank grid used by kBlock ({nranks,1,1}-style for kRoundRobin).
+  IntVec rank_grid() const { return rank_grid_; }
+
+  /// Chooses a 3D factorization of `nranks` that divides `layout`
+  /// dimension-wise if possible (exposed for tests).
+  static IntVec choose_rank_grid(IntVec layout, int nranks);
+
+ private:
+  int nranks_;
+  IntVec rank_grid_;
+  std::vector<int> owner_;
+  std::vector<std::vector<int>> by_rank_;
+};
+
+}  // namespace usw::grid

@@ -1,0 +1,52 @@
+#pragma once
+
+// TiDA-style tiling of a patch for the per-CPE scratch-pad (Sec V-B/V-D).
+//
+// When a kernel is scheduled on the CPE cluster, its patch is subdivided
+// into tiles whose working set (all fields incl. ghost halo) fits the 64 KB
+// LDM. Tiles are assigned to CPEs by "naturally partitioning the blocks in
+// the z dimension" (paper Sec V-D step 1): contiguous runs of z-slabs per
+// CPE. The current hardware scheduler ignores per-tile load imbalance, and
+// so does this model — that imbalance is visible in the results exactly as
+// the paper notes.
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/box.h"
+#include "grid/intvec.h"
+
+namespace usw::grid {
+
+class Tiling {
+ public:
+  /// Tiles `patch_cells` by `tile_shape`. Boundary tiles are clipped, so
+  /// every cell belongs to exactly one tile.
+  Tiling(const Box& patch_cells, IntVec tile_shape);
+
+  IntVec tile_shape() const { return tile_shape_; }
+  /// Number of tiles along each axis.
+  IntVec tile_grid() const { return tile_grid_; }
+  int num_tiles() const { return static_cast<int>(tiles_.size()); }
+  const Box& tile(int index) const { return tiles_.at(static_cast<std::size_t>(index)); }
+  const std::vector<Box>& tiles() const { return tiles_; }
+
+  /// Tile indices assigned to `cpe_id` of `n_cpes`: z-slabs are divided
+  /// contiguously and as evenly as possible among the CPEs.
+  std::vector<int> tiles_for_cpe(int cpe_id, int n_cpes) const;
+
+  /// Bytes of LDM needed to stage one full (unclipped) tile of a kernel
+  /// that reads one field with `ghost` halo layers and writes one field,
+  /// with `bytes_per_cell` per field element. This is the value checked
+  /// against the 64 KB limit when choosing the tile size (Sec VI-A).
+  static std::uint64_t working_set_bytes(IntVec tile_shape, int ghost,
+                                         std::uint64_t bytes_per_cell,
+                                         int fields_read, int fields_written);
+
+ private:
+  IntVec tile_shape_;
+  IntVec tile_grid_;
+  std::vector<Box> tiles_;  ///< x-fastest, then y, then z (slab-major)
+};
+
+}  // namespace usw::grid

@@ -1,0 +1,22 @@
+#include "hw/ldm.h"
+
+#include <string>
+
+namespace usw::hw {
+
+Ldm::Ldm(std::size_t capacity_bytes) : storage_(capacity_bytes) {
+  USW_ASSERT_MSG(capacity_bytes > 0, "LDM capacity must be positive");
+}
+
+void* Ldm::alloc_bytes(std::size_t bytes, std::size_t align) {
+  std::size_t offset = (used_ + align - 1) / align * align;
+  if (offset + bytes > storage_.size()) {
+    throw ResourceError("LDM overflow: request of " + std::to_string(bytes) +
+                        " B with " + std::to_string(storage_.size() - used_) +
+                        " B free of " + std::to_string(storage_.size()) + " B");
+  }
+  used_ = offset + bytes;
+  return storage_.data() + offset;
+}
+
+}  // namespace usw::hw

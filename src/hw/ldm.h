@@ -1,0 +1,49 @@
+#pragma once
+
+// Local Data Memory (LDM) model.
+//
+// Each CPE owns a 64 KB scratch-pad instead of a data cache (Sec IV-A).
+// Kernels stage tile data into the LDM with DMA (athread_get), compute in
+// LDM, and write back (athread_put). This class models the LDM as a real
+// bump-allocated buffer: allocations hand out host memory so kernels
+// genuinely compute out of the staged copy, and exceeding the 64 KB
+// capacity fails the same way it would on hardware (at development time,
+// loudly).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/error.h"
+
+namespace usw::hw {
+
+class Ldm {
+ public:
+  explicit Ldm(std::size_t capacity_bytes);
+
+  std::size_t capacity() const { return storage_.size(); }
+  std::size_t used() const { return used_; }
+  std::size_t remaining() const { return storage_.size() - used_; }
+
+  /// Allocates `count` elements of T, 32-byte aligned (SIMD width).
+  /// Throws ResourceError if the working set would exceed the capacity —
+  /// the equivalent of an athread LDM overflow.
+  template <typename T>
+  std::span<T> alloc(std::size_t count) {
+    void* p = alloc_bytes(count * sizeof(T), alignof(T) > 32 ? alignof(T) : 32);
+    return std::span<T>(static_cast<T*>(p), count);
+  }
+
+  /// Releases everything (end of a tile); pointers become invalid.
+  void reset() { used_ = 0; }
+
+ private:
+  void* alloc_bytes(std::size_t bytes, std::size_t align);
+
+  std::vector<std::byte> storage_;
+  std::size_t used_ = 0;
+};
+
+}  // namespace usw::hw

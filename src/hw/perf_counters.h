@@ -1,0 +1,59 @@
+#pragma once
+
+// Per-core-group performance counters, modeling the precise hardware
+// counters on SW26010 the paper uses for Table I and Fig 9/10.
+//
+// Convention (Sec VII-E): counters are precise but count a division or a
+// square root as a single floating-point operation; an emulated exponential
+// contributes its full software expansion (~36 flops). Counters are plain
+// accumulators incremented by the athread layer and schedulers; they carry
+// no virtual time of their own.
+
+#include <cstdint>
+#include <string>
+
+#include "hw/cost_model.h"
+#include "support/units.h"
+
+namespace usw::hw {
+
+struct PerfCounters {
+  // Floating point (hardware-counter convention).
+  double counted_flops = 0.0;
+
+  // Work volume.
+  std::uint64_t cells_computed = 0;
+  std::uint64_t tiles_executed = 0;
+  std::uint64_t kernels_offloaded = 0;
+  std::uint64_t kernels_on_mpe = 0;
+
+  // Memory traffic.
+  std::uint64_t dma_bytes_in = 0;    ///< main memory -> LDM (athread_get)
+  std::uint64_t dma_bytes_out = 0;   ///< LDM -> main memory (athread_put)
+  std::uint64_t pack_bytes = 0;      ///< MPE ghost pack/unpack traffic
+
+  // Communication.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t reductions = 0;
+
+  // Virtual time breakdown (MPE perspective).
+  TimePs kernel_time = 0;     ///< CPE cluster busy (or MPE in host mode)
+  TimePs mpe_task_time = 0;   ///< task management / MPE parts of tasks
+  TimePs comm_time = 0;       ///< posting/testing/packing MPI
+  TimePs wait_time = 0;       ///< MPE idle, spinning on flag or messages
+
+  /// Accumulates `cells` worth of kernel `cost` into the flop counter.
+  void count_kernel_cells(std::uint64_t cells, const KernelCost& cost) {
+    counted_flops += static_cast<double>(cells) * cost.counted_flops_per_cell();
+    cells_computed += cells;
+  }
+
+  void merge(const PerfCounters& other);
+
+  std::string summary() const;
+};
+
+}  // namespace usw::hw

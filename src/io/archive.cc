@@ -1,0 +1,134 @@
+#include "io/archive.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace usw::io {
+namespace fs = std::filesystem;
+
+std::string Archive::step_dir(int step) const {
+  return dir_ + "/step_" + std::to_string(step);
+}
+
+std::string Archive::field_path(int step, const std::string& label,
+                                int patch_id) const {
+  return step_dir(step) + "/" + label + "_p" + std::to_string(patch_id) + ".bin";
+}
+
+void Archive::write_index(const ArchiveIndex& index) const {
+  fs::create_directories(dir_);
+  std::ofstream out(dir_ + "/index.txt");
+  if (!out) throw Error("cannot write archive index in " + dir_);
+  out << "uintah-sw-archive 1\n";
+  out << "patch_layout " << index.patch_layout.x << ' ' << index.patch_layout.y
+      << ' ' << index.patch_layout.z << '\n';
+  out << "patch_size " << index.patch_size.x << ' ' << index.patch_size.y << ' '
+      << index.patch_size.z << '\n';
+  out << "labels";
+  for (const auto& l : index.labels) out << ' ' << l;
+  out << '\n';
+}
+
+void Archive::write_step_meta(const StepMeta& meta) const {
+  fs::create_directories(step_dir(meta.step));
+  std::ofstream out(step_dir(meta.step) + "/meta.txt");
+  if (!out) throw Error("cannot write step meta in " + step_dir(meta.step));
+  out.precision(17);
+  out << "step " << meta.step << "\ntime " << meta.time << "\ndt " << meta.dt
+      << '\n';
+}
+
+void Archive::write_field(int step, const std::string& label, int patch_id,
+                          const var::CCVariable<double>& field) const {
+  USW_ASSERT_MSG(field.allocated(), "writing an unallocated field");
+  fs::create_directories(step_dir(step));
+  std::ofstream out(field_path(step, label, patch_id), std::ios::binary);
+  if (!out) throw Error("cannot write field " + field_path(step, label, patch_id));
+  const grid::Box& b = field.box();
+  out << b.lo.x << ' ' << b.lo.y << ' ' << b.lo.z << ' ' << b.hi.x << ' '
+      << b.hi.y << ' ' << b.hi.z << '\n';
+  out.write(reinterpret_cast<const char*>(field.data().data()),
+            static_cast<std::streamsize>(field.data().size() * sizeof(double)));
+  if (!out) throw Error("short write to " + field_path(step, label, patch_id));
+}
+
+ArchiveIndex Archive::read_index() const {
+  std::ifstream in(dir_ + "/index.txt");
+  if (!in) throw Error("cannot read archive index in " + dir_);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "uintah-sw-archive" || version != 1)
+    throw Error("unrecognized archive format in " + dir_);
+  ArchiveIndex index;
+  std::string key;
+  in >> key >> index.patch_layout.x >> index.patch_layout.y >> index.patch_layout.z;
+  if (key != "patch_layout") throw Error("malformed archive index (patch_layout)");
+  in >> key >> index.patch_size.x >> index.patch_size.y >> index.patch_size.z;
+  if (key != "patch_size") throw Error("malformed archive index (patch_size)");
+  in >> key;
+  if (key != "labels") throw Error("malformed archive index (labels)");
+  std::string rest;
+  std::getline(in, rest);
+  std::istringstream ls(rest);
+  std::string label;
+  while (ls >> label) index.labels.push_back(label);
+  return index;
+}
+
+StepMeta Archive::read_step_meta(int step) const {
+  std::ifstream in(step_dir(step) + "/meta.txt");
+  if (!in) throw Error("no step " + std::to_string(step) + " in archive " + dir_);
+  StepMeta meta;
+  std::string key;
+  in >> key >> meta.step;
+  if (key != "step") throw Error("malformed step meta");
+  in >> key >> meta.time;
+  if (key != "time") throw Error("malformed step meta");
+  in >> key >> meta.dt;
+  if (key != "dt") throw Error("malformed step meta");
+  return meta;
+}
+
+var::CCVariable<double> Archive::read_field(int step, const std::string& label,
+                                            int patch_id) const {
+  const std::string path = field_path(step, label, patch_id);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("missing field file " + path);
+  grid::Box b;
+  in >> b.lo.x >> b.lo.y >> b.lo.z >> b.hi.x >> b.hi.y >> b.hi.z;
+  in.ignore(1, '\n');
+  if (!in || b.empty()) throw Error("corrupt field header in " + path);
+  var::CCVariable<double> field(b);
+  in.read(reinterpret_cast<char*>(field.data().data()),
+          static_cast<std::streamsize>(field.data().size() * sizeof(double)));
+  if (in.gcount() !=
+      static_cast<std::streamsize>(field.data().size() * sizeof(double)))
+    throw Error("short read from " + path);
+  return field;
+}
+
+bool Archive::has_step(int step) const {
+  return fs::exists(step_dir(step) + "/meta.txt");
+}
+
+std::optional<int> Archive::latest_step() const {
+  std::optional<int> best;
+  if (!fs::exists(dir_)) return best;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("step_", 0) != 0) continue;
+    try {
+      const int s = std::stoi(name.substr(5));
+      if (has_step(s) && (!best || s > *best)) best = s;
+    } catch (const std::exception&) {
+      // not a step directory; ignore
+    }
+  }
+  return best;
+}
+
+}  // namespace usw::io

@@ -1,0 +1,32 @@
+#pragma once
+
+// Software exponentials (Sec VI-C).
+//
+// SW26010 has no hardware exp instruction; the paper picks the fast,
+// non-IEEE-conforming vendor library over the slow conforming one and
+// accepts a small accuracy loss. This module reproduces that choice:
+//
+//   * exp_ieee     - the accurate reference (std::exp),
+//   * exp_fast     - a range-reduction + degree-6 polynomial approximation
+//                    with relative error < 3e-11 over double range,
+//   * exp_fast(Vec4) - the vectorized version used by SIMD kernels.
+//
+// Tests pin the accuracy bound; benchmarks charge different virtual-time
+// costs for the two libraries via MachineParams::cpe_exp_*.
+
+#include "kern/simd4.h"
+
+namespace usw::kern {
+
+/// IEEE-conforming exponential (the "slow library").
+double exp_ieee(double x);
+
+/// Fast non-conforming exponential: relative error < 3e-11 for |x| <= 700;
+/// clamps to 0 / +inf outside the representable range, does not honor
+/// signaling NaN semantics or set floating-point flags.
+double exp_fast(double x);
+
+/// Lane-wise fast exponential.
+Vec4 exp_fast(Vec4 x);
+
+}  // namespace usw::kern

@@ -1,0 +1,66 @@
+#pragma once
+
+// Non-owning 3D view over field data, addressed by *global* cell indices.
+//
+// Kernels are written once against FieldView and run unchanged on two
+// backings: directly on a data-warehouse variable (MPE-only mode) or on a
+// staged LDM tile buffer (CPE mode). Layout is x-fastest, matching the
+// SIMD direction of the vectorized kernels.
+
+#include <cstddef>
+
+#include "grid/box.h"
+#include "support/error.h"
+#include "var/ccvariable.h"
+
+namespace usw::kern {
+
+class FieldView {
+ public:
+  FieldView() = default;
+
+  /// Views `data` as covering `box` (row-major, x-fastest).
+  FieldView(double* data, const grid::Box& box) : data_(data), box_(box) {
+    const grid::IntVec s = box.size();
+    sx_ = 1;
+    sy_ = static_cast<std::ptrdiff_t>(s.x);
+    sz_ = static_cast<std::ptrdiff_t>(s.x) * s.y;
+  }
+
+  /// Views a whole CCVariable.
+  static FieldView of(var::CCVariable<double>& v) {
+    return FieldView(v.data().data(), v.box());
+  }
+  static FieldView of_const(const var::CCVariable<double>& v) {
+    // Kernels take inputs via const FieldView&, but the view type itself is
+    // mutable; inputs are protected by convention (and by tests).
+    return FieldView(const_cast<double*>(v.data().data()), v.box());
+  }
+
+  bool valid() const { return data_ != nullptr; }
+  const grid::Box& box() const { return box_; }
+
+  double& at(int i, int j, int k) const {
+    USW_ASSERT_MSG(box_.contains({i, j, k}), "FieldView access outside box");
+    return data_[offset(i, j, k)];
+  }
+
+  /// Unchecked pointer to (i,j,k) for inner loops (bounds are the caller's
+  /// responsibility; the checked at() is for setup and tests).
+  double* ptr(int i, int j, int k) const { return data_ + offset(i, j, k); }
+
+  /// Stride between consecutive j rows / k planes, in elements.
+  std::ptrdiff_t stride_y() const { return sy_; }
+  std::ptrdiff_t stride_z() const { return sz_; }
+
+ private:
+  std::ptrdiff_t offset(int i, int j, int k) const {
+    return (i - box_.lo.x) + sy_ * (j - box_.lo.y) + sz_ * (k - box_.lo.z);
+  }
+
+  double* data_ = nullptr;
+  grid::Box box_;
+  std::ptrdiff_t sx_ = 1, sy_ = 0, sz_ = 0;
+};
+
+}  // namespace usw::kern

@@ -1,0 +1,61 @@
+#pragma once
+
+// Offloadable stencil kernel description.
+//
+// An application registers one KernelVariants per stencil task: functional
+// implementations (scalar and, optionally, SIMD-vectorized) plus the
+// per-cell operation mix for the cost model, the halo depth, and the LDM
+// tile shape (Sec VI-A). The same functional code runs in every scheduler
+// mode; only the staging path and the charged virtual time differ.
+
+#include <functional>
+
+#include "grid/intvec.h"
+#include "grid/level.h"
+#include "hw/cost_model.h"
+#include "kern/field_view.h"
+
+namespace usw::kern {
+
+/// Per-invocation environment: simulation time and mesh geometry. Built by
+/// the scheduler from the task context so kernels stay stateless and the
+/// same KernelVariants can be shared read-only across ranks running
+/// different timesteps concurrently.
+struct KernelEnv {
+  double time = 0.0;  ///< simulation time at the start of the step
+  double dt = 0.0;
+  double dx = 0.0;
+  double dy = 0.0;
+  double dz = 0.0;
+};
+
+/// Computes `region` of the output from the input; the input view covers at
+/// least `region` grown by the kernel's ghost depth. Views may address
+/// either data-warehouse variables or staged LDM tiles.
+using StencilFn =
+    std::function<void(const KernelEnv& env, const FieldView& in,
+                       const FieldView& out, const grid::Box& region)>;
+
+struct KernelVariants {
+  StencilFn scalar;        ///< required
+  StencilFn simd;          ///< optional; empty => scalar used for simd runs
+  hw::KernelCost cost;     ///< per-cell operation mix (Table I input)
+  int ghost = 1;           ///< halo layers the stencil reads
+  grid::IntVec tile_shape{16, 16, 8};  ///< LDM tile (Sec VI-A)
+  bool use_ieee_exp = false;  ///< pick the slow conforming exp library
+  /// Optional per-patch work multiplier for spatially imbalanced physics;
+  /// the cost model charges cost.scaled(cost_scale(patch)). Empty = 1.0.
+  std::function<double(const grid::Patch&)> cost_scale;
+
+  bool has_simd() const { return static_cast<bool>(simd); }
+
+  double scale_for(const grid::Patch& patch) const {
+    return cost_scale ? cost_scale(patch) : 1.0;
+  }
+
+  const StencilFn& variant(bool vectorized) const {
+    return (vectorized && has_simd()) ? simd : scalar;
+  }
+};
+
+}  // namespace usw::kern

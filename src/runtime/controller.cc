@@ -1,0 +1,226 @@
+#include "runtime/controller.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <memory>
+#include <optional>
+
+#include "athread/athread.h"
+#include "io/archive.h"
+#include "comm/comm.h"
+#include "hw/cost_model.h"
+#include "sched/scheduler.h"
+#include "sim/coordinator.h"
+#include "support/error.h"
+#include "support/log.h"
+
+namespace usw::runtime {
+
+void RunConfig::validate() const {
+  machine.validate();
+  if (nranks <= 0) throw ConfigError("nranks must be positive");
+  if (cpe_groups < 1 || machine.cpes_per_cg % cpe_groups != 0)
+    throw ConfigError("cpe_groups must divide the CPE count");
+  if (nranks > problem.num_patches())
+    throw ConfigError("more ranks than patches (one patch is scheduled on one "
+                      "CG at a time, Sec VII-A)");
+  if (timesteps < 0) throw ConfigError("timesteps must be non-negative");
+  if (storage == var::StorageMode::kFunctional) {
+    // Refuse functional runs that would not fit comfortably in host memory.
+    constexpr std::uint64_t kLimit = 6ull * 1024 * 1024 * 1024;
+    if (problem.memory_bytes() > kLimit)
+      throw ConfigError("problem needs " + format_bytes(problem.memory_bytes()) +
+                        " of field data; use StorageMode::kTimingOnly");
+  }
+  if (output_interval < 0) throw ConfigError("output_interval must be >= 0");
+  if (output_interval > 0 && output_dir.empty())
+    throw ConfigError("output_interval set without output_dir");
+  if ((output_interval > 0 || !restart_dir.empty()) &&
+      storage != var::StorageMode::kFunctional)
+    throw ConfigError("archive output/restart requires functional storage");
+}
+
+TimePs RunResult::step_wall(int s) const {
+  TimePs w = 0;
+  for (const RankResult& r : ranks)
+    w = std::max(w, r.step_walls.at(static_cast<std::size_t>(s)));
+  return w;
+}
+
+TimePs RunResult::mean_step_wall() const {
+  if (timesteps == 0) return 0;
+  TimePs total = 0;
+  for (int s = 0; s < timesteps; ++s) total += step_wall(s);
+  return total / timesteps;
+}
+
+double RunResult::total_counted_flops() const {
+  double f = 0.0;
+  for (const RankResult& r : ranks) f += r.counters.counted_flops;
+  return f;
+}
+
+double RunResult::achieved_gflops() const {
+  TimePs total = 0;
+  for (int s = 0; s < timesteps; ++s) total += step_wall(s);
+  if (total == 0) return 0.0;
+  return total_counted_flops() / ps_to_seconds(total) * 1e-9;
+}
+
+hw::PerfCounters RunResult::merged_counters() const {
+  hw::PerfCounters sum;
+  for (const RankResult& r : ranks) sum.merge(r.counters);
+  return sum;
+}
+
+RunResult run_simulation(const RunConfig& config, const Application& app) {
+  config.validate();
+
+  const grid::Level level(config.problem.patch_layout, config.problem.patch_size);
+  std::vector<double> patch_costs;
+  patch_costs.reserve(static_cast<std::size_t>(level.num_patches()));
+  for (const grid::Patch& p : level.patches())
+    patch_costs.push_back(app.patch_cost(level, p));
+  const grid::Partition part(level, config.nranks, config.partition, patch_costs);
+  const hw::CostModel cost(config.machine);
+  comm::Network network(config.nranks, cost);
+
+  task::TaskGraph init_graph;
+  app.build_init_graph(init_graph, level);
+  task::TaskGraph step_graph;
+  app.build_step_graph(step_graph, level);
+
+  // Checkpoint/restart configuration (validated before the ranks start so
+  // configuration errors surface as exceptions, not cancelled runs).
+  std::optional<io::Archive> restart_archive;
+  io::StepMeta restart_meta;
+  if (!config.restart_dir.empty()) {
+    restart_archive.emplace(config.restart_dir);
+    const io::ArchiveIndex index = restart_archive->read_index();
+    if (index.patch_layout != config.problem.patch_layout ||
+        index.patch_size != config.problem.patch_size)
+      throw ConfigError("restart archive grid (" + index.patch_layout.to_string() +
+                        " patches of " + index.patch_size.to_string() +
+                        ") does not match the configured problem");
+    int step = config.restart_step;
+    if (step < 0) {
+      const auto latest = restart_archive->latest_step();
+      if (!latest) throw ConfigError("restart archive has no saved steps");
+      step = *latest;
+    }
+    restart_meta = restart_archive->read_step_meta(step);
+  }
+  std::optional<io::Archive> output_archive;
+  if (!config.output_dir.empty() && config.output_interval > 0) {
+    output_archive.emplace(config.output_dir);
+    io::ArchiveIndex index;
+    index.patch_layout = config.problem.patch_layout;
+    index.patch_size = config.problem.patch_size;
+    for (const auto& t : step_graph.tasks())
+      for (const task::Computes& c : t->computes_list())
+        index.labels.push_back(c.label->name());
+    output_archive->write_index(index);
+  }
+
+  RunResult result;
+  result.nranks = config.nranks;
+  result.timesteps = config.timesteps;
+  result.ranks.resize(static_cast<std::size_t>(config.nranks));
+
+  sim::run_ranks(config.nranks, [&](sim::Coordinator& coord, int rank) {
+    RankResult& out = result.ranks[static_cast<std::size_t>(rank)];
+    out.trace.enable(config.collect_trace);
+
+    comm::Comm comm(network, coord, rank, &out.counters);
+    athread::CpeCluster cluster(cost, coord, rank, &out.counters,
+                                config.cpe_groups);
+    sched::SchedulerConfig sched_config = config.variant.scheduler_config();
+    sched_config.cpe_groups = config.cpe_groups;
+    sched_config.async_dma = config.async_dma;
+    sched_config.packed_tiles = config.packed_tiles;
+    sched_config.selection = config.selection;
+    sched_config.mpe_kernel_threshold_cells = config.mpe_kernel_threshold_cells;
+
+    task::CompiledGraph cg_init = init_graph.compile(level, part, rank, config.pattern);
+    // Initialization outputs must be allocated with the halo depth the
+    // timestep graph will later require of them.
+    for (task::OutputAlloc& oa : cg_init.outputs)
+      oa.ghost = std::max(oa.ghost, step_graph.ghost_alloc_depth(oa.label));
+    const task::CompiledGraph cg_step =
+        step_graph.compile(level, part, rank, config.pattern);
+
+    var::DataWarehouse old_dw(config.storage, -1);
+    var::DataWarehouse new_dw(config.storage, 0);
+
+    task::TaskContext ctx;
+    ctx.level = &level;
+    ctx.old_dw = &old_dw;
+    ctx.new_dw = &new_dw;
+    ctx.time = 0.0;
+    ctx.dt = app.fixed_dt(level);
+    ctx.functional = (config.storage == var::StorageMode::kFunctional);
+
+    int start_step = 0;
+    if (restart_archive) {
+      // Restore the saved state instead of initializing: the fields were
+      // archived with their full ghosted boxes, so the restart reproduces
+      // the uninterrupted run bit-for-bit.
+      for (const task::OutputAlloc& oa : cg_step.outputs) {
+        var::CCVariable<double> field = restart_archive->read_field(
+            restart_meta.step, oa.label->name(), oa.patch_id);
+        if (field.box() != level.patch(oa.patch_id).ghosted(oa.ghost))
+          throw ConfigError("restart field '" + oa.label->name() +
+                            "' has box " + field.box().to_string() +
+                            ", expected patch " + std::to_string(oa.patch_id) +
+                            " with " + std::to_string(oa.ghost) + " ghosts");
+        new_dw.adopt(oa.label, oa.patch_id, oa.ghost,
+                     std::make_unique<var::CCVariable<double>>(std::move(field)));
+      }
+      old_dw.swap_in(new_dw);
+      ctx.time = restart_meta.time;
+      ctx.dt = restart_meta.dt;
+      start_step = restart_meta.step;
+    } else {
+      // Initialization "timestep": tag step 15 cannot collide with the
+      // first real steps, and all of its messages drain before execute()
+      // returns.
+      sched::Scheduler init_sched(sched_config, level,
+                                  cg_init, comm, cluster, out.counters, out.trace);
+      ctx.step = -1;
+      out.init_wall = init_sched.execute(ctx).wall;
+      old_dw.swap_in(new_dw);
+    }
+
+    sched::Scheduler sched(sched_config, level, cg_step,
+                           comm, cluster, out.counters, out.trace);
+    for (int s = 0; s < config.timesteps; ++s) {
+      ctx.step = start_step + s;
+      new_dw.set_step(ctx.step + 1);
+      const sched::StepStats stats = sched.execute(ctx);
+      out.step_walls.push_back(stats.wall);
+      if (output_archive &&
+          ((s + 1) % config.output_interval == 0 || s + 1 == config.timesteps)) {
+        // Save the just-computed state; the archive step counts completed
+        // timesteps. Every rank writes its own patches; rank 0 the meta.
+        const int archive_step = ctx.step + 1;
+        if (rank == 0)
+          output_archive->write_step_meta(
+              io::StepMeta{archive_step, ctx.time + ctx.dt, ctx.dt});
+        for (const task::OutputAlloc& oa : cg_step.outputs)
+          output_archive->write_field(archive_step, oa.label->name(),
+                                      oa.patch_id,
+                                      new_dw.get(oa.label, oa.patch_id));
+      }
+      ctx.time += ctx.dt;
+      ctx.dt = app.next_dt(ctx, ctx.dt);
+      old_dw.swap_in(new_dw);
+    }
+
+    app.on_rank_complete(ctx, comm, part.patches_of(rank), out.metrics);
+  });
+
+  return result;
+}
+
+}  // namespace usw::runtime

@@ -1,0 +1,88 @@
+#pragma once
+
+// The simulation controller: builds the machine, grid, partition, and task
+// graphs, then drives the per-rank schedulers through initialization and
+// timestepping with the old/new data-warehouse swap (Sec II).
+//
+// This is the top of the public API: benchmarks and examples configure a
+// RunConfig and call run_simulation().
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "grid/partition.h"
+#include "hw/machine_params.h"
+#include "hw/perf_counters.h"
+#include "runtime/application.h"
+#include "runtime/problem.h"
+#include "runtime/variant.h"
+#include "sim/trace.h"
+#include "support/units.h"
+#include "var/datawarehouse.h"
+
+namespace usw::runtime {
+
+struct RunConfig {
+  ProblemSpec problem;
+  Variant variant;
+  int nranks = 1;
+  int timesteps = 10;  ///< the paper evaluates 10 steps (Sec VII-A)
+  var::StorageMode storage = var::StorageMode::kFunctional;
+  grid::GhostPattern pattern = grid::GhostPattern::kFaces;
+  grid::PartitionPolicy partition = grid::PartitionPolicy::kBlock;
+  hw::MachineParams machine = hw::MachineParams::sunway_taihulight();
+  bool collect_trace = false;
+
+  // Future-work options (paper Sec IX), orthogonal to the variant:
+  int cpe_groups = 1;         ///< concurrent kernels per CG (async modes)
+  bool async_dma = false;     ///< double-buffered tile DMA
+  bool packed_tiles = false;  ///< contiguous tile transfers
+  sched::SelectionPolicy selection = sched::SelectionPolicy::kGraphOrder;
+  /// Small-kernel heuristic: patches of at most this many cells run on the
+  /// MPE even in offload modes (0 = always offload). See Sec V-C 3d.
+  std::uint64_t mpe_kernel_threshold_cells = 0;
+
+  // ---- Output / checkpoint (functional storage only) ----
+  /// Archive directory; empty = no output.
+  std::string output_dir;
+  /// Save the computed fields every N completed steps (0 = never).
+  int output_interval = 0;
+  /// Restart from this archive instead of running initialization.
+  std::string restart_dir;
+  /// Archive step to restart from; -1 = the latest step present.
+  int restart_step = -1;
+
+  void validate() const;
+};
+
+struct RankResult {
+  hw::PerfCounters counters;
+  std::vector<TimePs> step_walls;  ///< per-timestep virtual wall time
+  TimePs init_wall = 0;
+  sim::Trace trace;
+  std::map<std::string, double> metrics;  ///< application verification data
+};
+
+struct RunResult {
+  int nranks = 0;
+  int timesteps = 0;
+  std::vector<RankResult> ranks;
+
+  /// Wall time of step `s`: the slowest rank (what a host-side timer sees).
+  TimePs step_wall(int s) const;
+  /// Mean per-step wall over all steps.
+  TimePs mean_step_wall() const;
+  /// Sum of counted flops over all ranks across the whole run.
+  double total_counted_flops() const;
+  /// Achieved Gflop/s over the timestepping phase (Fig 9's metric).
+  double achieved_gflops() const;
+  /// Aggregated counters.
+  hw::PerfCounters merged_counters() const;
+};
+
+/// Runs `app` under `config` on a simulated machine and returns per-rank
+/// results. Deterministic: identical inputs give identical outputs.
+RunResult run_simulation(const RunConfig& config, const Application& app);
+
+}  // namespace usw::runtime

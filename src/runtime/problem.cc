@@ -1,0 +1,36 @@
+#include "runtime/problem.h"
+
+#include "support/error.h"
+
+namespace usw::runtime {
+
+std::vector<ProblemSpec> paper_problems() {
+  // Table III. Starting from the smallest patch, the size doubles
+  // round-robin between x and y until one CG's memory is exceeded.
+  return {
+      {"16x16x512", {16, 16, 512}, {8, 8, 2}, 1},
+      {"16x32x512", {16, 32, 512}, {8, 8, 2}, 1},
+      {"32x32x512", {32, 32, 512}, {8, 8, 2}, 1},
+      {"32x64x512", {32, 64, 512}, {8, 8, 2}, 1},
+      {"64x64x512", {64, 64, 512}, {8, 8, 2}, 2},
+      {"64x128x512", {64, 128, 512}, {8, 8, 2}, 4},
+      {"128x128x512", {128, 128, 512}, {8, 8, 2}, 8},
+  };
+}
+
+ProblemSpec problem_by_name(const std::string& name) {
+  for (const ProblemSpec& p : paper_problems())
+    if (p.name == name) return p;
+  throw ConfigError("unknown problem '" + name + "' (see Table III)");
+}
+
+ProblemSpec tiny_problem(grid::IntVec layout, grid::IntVec patch_size) {
+  ProblemSpec p;
+  p.name = "tiny-" + layout.to_string() + "-" + patch_size.to_string();
+  p.patch_layout = layout;
+  p.patch_size = patch_size;
+  p.min_cgs = 1;
+  return p;
+}
+
+}  // namespace usw::runtime

@@ -1,0 +1,44 @@
+#pragma once
+
+// The evaluation problems of Table III.
+//
+// All paper problems share the fixed 8x8x2 patch layout (128 patches);
+// patch sizes double round-robin in x and y from 16x16x512 up to
+// 128x128x512. "min_cgs" mirrors the paper's starred rows where a single
+// CG's memory cannot hold the problem.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grid/intvec.h"
+
+namespace usw::runtime {
+
+struct ProblemSpec {
+  std::string name;                     ///< paper naming = patch size
+  grid::IntVec patch_size;
+  grid::IntVec patch_layout{8, 8, 2};
+  int min_cgs = 1;                      ///< smallest CG count that fits
+
+  grid::IntVec grid_size() const { return patch_layout * patch_size; }
+  std::int64_t total_cells() const { return grid_size().volume(); }
+  int num_patches() const { return static_cast<int>(patch_layout.volume()); }
+
+  /// Field memory for the whole problem (u in two warehouses).
+  std::uint64_t memory_bytes() const {
+    return static_cast<std::uint64_t>(total_cells()) * 2 * sizeof(double);
+  }
+};
+
+/// The seven problems of Table III, smallest to largest.
+std::vector<ProblemSpec> paper_problems();
+
+/// Lookup by paper name (e.g. "32x64x512"); throws ConfigError if unknown.
+ProblemSpec problem_by_name(const std::string& name);
+
+/// A reduced-size problem set for fast functional tests and examples:
+/// same 3-task structure, small grids.
+ProblemSpec tiny_problem(grid::IntVec layout, grid::IntVec patch_size);
+
+}  // namespace usw::runtime

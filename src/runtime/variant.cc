@@ -1,0 +1,26 @@
+#include "runtime/variant.h"
+
+#include "support/error.h"
+
+namespace usw::runtime {
+
+std::vector<Variant> all_variants() {
+  using sched::SchedulerMode;
+  return {
+      {"host.sync", SchedulerMode::kMpeOnly, false},
+      {"acc.sync", SchedulerMode::kSyncMpeCpe, false},
+      {"acc_simd.sync", SchedulerMode::kSyncMpeCpe, true},
+      {"acc.async", SchedulerMode::kAsyncMpeCpe, false},
+      {"acc_simd.async", SchedulerMode::kAsyncMpeCpe, true},
+  };
+}
+
+Variant variant_by_name(const std::string& name) {
+  for (const Variant& v : all_variants())
+    if (v.name == name) return v;
+  throw ConfigError("unknown variant '" + name +
+                    "' (expected one of host.sync, acc.sync, acc_simd.sync, "
+                    "acc.async, acc_simd.async)");
+}
+
+}  // namespace usw::runtime

@@ -1,0 +1,29 @@
+#pragma once
+
+// The experimental variants of Table IV.
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace usw::runtime {
+
+struct Variant {
+  std::string name;  ///< paper spelling, e.g. "acc_simd.async"
+  sched::SchedulerMode mode = sched::SchedulerMode::kAsyncMpeCpe;
+  bool vectorize = false;
+
+  sched::SchedulerConfig scheduler_config() const {
+    return sched::SchedulerConfig{mode, vectorize};
+  }
+};
+
+/// The five variants of Table IV, in paper order:
+/// host.sync, acc.sync, acc_simd.sync, acc.async, acc_simd.async.
+std::vector<Variant> all_variants();
+
+/// Lookup by paper name; throws ConfigError for unknown names.
+Variant variant_by_name(const std::string& name);
+
+}  // namespace usw::runtime

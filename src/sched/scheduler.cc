@@ -1,0 +1,470 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/tile_exec.h"
+#include "support/error.h"
+#include "support/log.h"
+
+namespace usw::sched {
+
+const char* to_string(SchedulerMode mode) {
+  switch (mode) {
+    case SchedulerMode::kMpeOnly: return "mpe-only";
+    case SchedulerMode::kSyncMpeCpe: return "sync-mpe+cpe";
+    case SchedulerMode::kAsyncMpeCpe: return "async-mpe+cpe";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(SchedulerConfig config, const grid::Level& level,
+                     const task::CompiledGraph& graph, comm::Comm& comm,
+                     athread::CpeCluster& cluster, hw::PerfCounters& counters,
+                     sim::Trace& trace)
+    : config_(config), level_(level), graph_(graph), comm_(comm),
+      cluster_(cluster), counters_(counters), trace_(trace) {}
+
+var::DataWarehouse& Scheduler::dw_for(task::TaskContext& ctx,
+                                      task::WhichDW which) const {
+  return which == task::WhichDW::kOld ? *ctx.old_dw : *ctx.new_dw;
+}
+
+kern::FieldView Scheduler::view_of(var::DataWarehouse& dw,
+                                   const var::VarLabel* label,
+                                   int patch_id) const {
+  if (!dw.functional()) return kern::FieldView{};
+  return kern::FieldView::of(dw.get(label, patch_id));
+}
+
+StepStats Scheduler::execute(task::TaskContext& ctx) {
+  ctx.cost = &comm_.net().cost();
+  const TimePs start = comm_.now();
+
+  const std::size_t n = graph_.tasks.size();
+  state_.assign(n, DtState{});
+  ready_.clear();
+  open_recvs_.clear();
+  open_recv_dt_.clear();
+  open_recv_comm_.clear();
+  open_sends_.clear();
+  done_count_ = 0;
+  offloaded_.assign(static_cast<std::size_t>(cluster_.n_groups()), -1);
+
+  reduction_acc_.clear();
+  reduction_remaining_.clear();
+  for (const task::ReductionInfo& r : graph_.reductions) {
+    double init = 0.0;
+    if (r.task->reduce_op() == task::ReduceOp::kMin)
+      init = std::numeric_limits<double>::infinity();
+    else if (r.task->reduce_op() == task::ReduceOp::kMax)
+      init = -std::numeric_limits<double>::infinity();
+    reduction_acc_.push_back(init);
+    reduction_remaining_.push_back(r.num_local_parts);
+  }
+
+  allocate_outputs(ctx);
+  post_recvs(ctx);
+  post_initial_sends(ctx);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const task::DetailedTask& dt = graph_.tasks[i];
+    state_[i].pending_preds = dt.num_internal_preds;
+    state_[i].pending_recvs = static_cast<int>(dt.recvs.size());
+    if (state_[i].pending_preds == 0 && state_[i].pending_recvs == 0)
+      ready_.insert(static_cast<int>(i));
+  }
+
+  if (config_.mode == SchedulerMode::kAsyncMpeCpe)
+    run_loop_async(ctx);
+  else
+    run_loop_sync(ctx);
+
+  drain_sends();
+  finalize_reductions(ctx);
+  comm_.advance(comm_.net().cost().step_fixed_overhead());
+  comm_.reset_requests();
+
+  StepStats stats;
+  stats.wall = comm_.now() - start;
+  return stats;
+}
+
+void Scheduler::allocate_outputs(task::TaskContext& ctx) {
+  for (const task::OutputAlloc& out : graph_.outputs)
+    if (!ctx.new_dw->exists(out.label, out.patch_id))
+      ctx.new_dw->allocate(out.label, level_.patch(out.patch_id), out.ghost);
+}
+
+void Scheduler::post_recvs(task::TaskContext& ctx) {
+  // Sec V-C 3a: post nonblocking receives for tasks depending on remote
+  // data, before any task runs.
+  for (std::size_t i = 0; i < graph_.tasks.size(); ++i) {
+    for (const task::ExtComm& rc : graph_.tasks[i].recvs) {
+      const comm::RequestId req = comm_.irecv(rc.peer_rank, rc.tag(ctx.step));
+      open_recvs_.push_back(req);
+      open_recv_dt_.push_back(static_cast<int>(i));
+      open_recv_comm_.push_back(&rc);
+      trace_.record(comm_.now(), sim::EventKind::kRecvPosted,
+                    rc.label->name() + " p" + std::to_string(rc.from_patch) +
+                        "->p" + std::to_string(rc.to_patch));
+    }
+  }
+}
+
+void Scheduler::post_send(task::TaskContext& ctx, const task::ExtComm& sc) {
+  var::DataWarehouse& dw = dw_for(ctx, sc.dw);
+  const TimePs pack_cost = comm_.net().cost().mpe_pack(sc.bytes());
+  comm_.advance(pack_cost);
+  counters_.comm_time += pack_cost;
+  counters_.pack_bytes += sc.bytes();
+  comm::RequestId req;
+  if (dw.functional()) {
+    const auto payload = dw.get(sc.label, sc.from_patch).pack(sc.region);
+    req = comm_.isend(sc.peer_rank, sc.tag(ctx.step), payload);
+  } else {
+    req = comm_.isend_bytes(sc.peer_rank, sc.tag(ctx.step), sc.bytes());
+  }
+  open_sends_.push_back(req);
+  trace_.record(comm_.now(), sim::EventKind::kSendPosted,
+                sc.label->name() + " p" + std::to_string(sc.from_patch) + "->p" +
+                    std::to_string(sc.to_patch));
+}
+
+void Scheduler::post_initial_sends(task::TaskContext& ctx) {
+  // Old-DW ghost data is complete at step start; ship it immediately.
+  for (const task::ExtComm& sc : graph_.initial_sends) post_send(ctx, sc);
+}
+
+int Scheduler::pick_ready(int want_stencil) {
+  int best = -1;
+  std::size_t best_sends = 0;
+  for (int i : ready_) {
+    const bool offloadable = is_offloadable(i);
+    if (want_stencil >= 0 && (want_stencil == 1) != offloadable) continue;
+    if (config_.selection == SelectionPolicy::kGraphOrder) return i;
+    const std::size_t sends = graph_.tasks[static_cast<std::size_t>(i)].sends.size();
+    if (best < 0 || sends > best_sends) {
+      best = i;
+      best_sends = sends;
+    }
+  }
+  return best;
+}
+
+bool Scheduler::is_stencil(int dt_index) const {
+  return graph_.tasks[static_cast<std::size_t>(dt_index)].task->type() ==
+         task::Task::Type::kStencil;
+}
+
+bool Scheduler::is_offloadable(int dt_index) const {
+  if (!is_stencil(dt_index)) return false;
+  if (config_.mpe_kernel_threshold_cells == 0) return true;
+  const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
+  const auto cells =
+      static_cast<std::uint64_t>(level_.patch(dt.patch_id).cells().volume());
+  return cells > config_.mpe_kernel_threshold_cells;
+}
+
+void Scheduler::mpe_part(task::TaskContext& ctx, int dt_index) {
+  const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
+  ready_.erase(dt_index);
+  trace_.record(comm_.now(), sim::EventKind::kTaskBegin,
+                dt.task->name() + " p" + std::to_string(dt.patch_id));
+  const TimePs overhead = comm_.net().cost().mpe_task_overhead();
+  comm_.advance(overhead);
+  counters_.mpe_task_time += overhead;
+  // Gather locally available ghost data (the data warehouse copies the MPE
+  // performs before handing the kernel its inputs).
+  for (const task::LocalCopy& lc : dt.local_copies) {
+    const TimePs cost = comm_.net().cost().mpe_pack(lc.bytes());
+    comm_.advance(cost);
+    counters_.mpe_task_time += cost;
+    counters_.pack_bytes += lc.bytes();
+    var::DataWarehouse& dw = dw_for(ctx, lc.dw);
+    if (dw.functional())
+      dw.get(lc.label, lc.to_patch)
+          .copy_region(dw.get(lc.label, lc.from_patch), lc.region);
+  }
+}
+
+kern::KernelEnv Scheduler::env_of(const task::TaskContext& ctx) const {
+  kern::KernelEnv env;
+  env.time = ctx.time;
+  env.dt = ctx.dt;
+  env.dx = level_.dx();
+  env.dy = level_.dy();
+  env.dz = level_.dz();
+  return env;
+}
+
+void Scheduler::run_stencil_on_mpe(task::TaskContext& ctx, int dt_index) {
+  const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
+  const kern::KernelVariants& kernel = dt.task->kernel();
+  const grid::Patch& patch = level_.patch(dt.patch_id);
+  const auto cells = static_cast<std::uint64_t>(patch.cells().volume());
+  const kern::FieldView in = view_of(dw_for(ctx, dt.task->stencil_in_dw()),
+                                     dt.task->stencil_in(), dt.patch_id);
+  const kern::FieldView out = view_of(*ctx.new_dw, dt.task->stencil_out(), dt.patch_id);
+  if (in.valid() && out.valid()) kernel.scalar(env_of(ctx), in, out, patch.cells());
+  const hw::KernelCost scaled = kernel.cost.scaled(kernel.scale_for(patch));
+  const TimePs cost = comm_.net().cost().mpe_compute(cells, scaled);
+  comm_.advance(cost);
+  counters_.kernel_time += cost;
+  counters_.kernels_on_mpe += 1;
+  counters_.count_kernel_cells(cells, scaled);
+}
+
+void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group) {
+  const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
+  const kern::KernelVariants& kernel = dt.task->kernel();
+  const grid::Patch& patch = level_.patch(dt.patch_id);
+  TileExecArgs args;
+  args.kernel = &kernel;
+  args.env = env_of(ctx);
+  args.in = view_of(dw_for(ctx, dt.task->stencil_in_dw()),
+                    dt.task->stencil_in(), dt.patch_id);
+  args.out = view_of(*ctx.new_dw, dt.task->stencil_out(), dt.patch_id);
+  args.patch_cells = patch.cells();
+  args.vectorize = config_.vectorize && kernel.has_simd();
+  args.async_dma = config_.async_dma;
+  args.packed_tiles = config_.packed_tiles;
+  args.cost_scale = kernel.scale_for(patch);
+  trace_.record(comm_.now(), sim::EventKind::kOffloadBegin,
+                dt.task->name() + " p" + std::to_string(dt.patch_id));
+  cluster_.spawn(make_tile_job(args), group);
+  trace_.record(comm_.now(), sim::EventKind::kKernelBegin,
+                dt.task->name() + " p" + std::to_string(dt.patch_id));
+  trace_.record(cluster_.completion_time(group), sim::EventKind::kKernelEnd,
+                dt.task->name() + " p" + std::to_string(dt.patch_id));
+  offloaded_[static_cast<std::size_t>(group)] = dt_index;
+}
+
+void Scheduler::run_mpe_body(task::TaskContext& ctx, int dt_index) {
+  const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
+  const grid::Patch& patch = level_.patch(dt.patch_id);
+  if (dt.task->type() == task::Task::Type::kMpeAction) {
+    const TimePs cost = dt.task->mpe_action()(ctx, patch);
+    USW_ASSERT_MSG(cost >= 0, "MPE action returned negative cost");
+    comm_.advance(cost);
+    counters_.mpe_task_time += cost;
+  } else if (dt.task->type() == task::Task::Type::kReduction) {
+    // The local part is an indivisible whole-field scan on the MPE; the
+    // completion flag is not polled until it finishes, which is what makes
+    // completion detection late when kernels are short.
+    const TimePs scan = comm_.net().cost().mpe_compute(
+        static_cast<std::uint64_t>(patch.cells().volume()), dt.task->scan_cost());
+    comm_.advance(scan);
+    counters_.mpe_task_time += scan;
+    int ri = -1;
+    for (std::size_t r = 0; r < graph_.reductions.size(); ++r)
+      if (graph_.reductions[r].task == dt.task) ri = static_cast<int>(r);
+    USW_ASSERT(ri >= 0);
+    if (ctx.functional) {
+      const double v = dt.task->reduction_local()(ctx, patch);
+      double& acc = reduction_acc_[static_cast<std::size_t>(ri)];
+      switch (dt.task->reduce_op()) {
+        case task::ReduceOp::kSum: acc += v; break;
+        case task::ReduceOp::kMin: acc = std::min(acc, v); break;
+        case task::ReduceOp::kMax: acc = std::max(acc, v); break;
+      }
+    }
+    reduction_remaining_[static_cast<std::size_t>(ri)] -= 1;
+  } else {
+    USW_ASSERT_MSG(false, "stencil task routed to run_mpe_body");
+  }
+}
+
+void Scheduler::on_finished(task::TaskContext& ctx, int dt_index) {
+  const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
+  DtState& st = state_[static_cast<std::size_t>(dt_index)];
+  USW_ASSERT_MSG(!st.done, "detailed task finished twice");
+  st.done = true;
+  ++done_count_;
+  trace_.record(comm_.now(), sim::EventKind::kTaskEnd,
+                dt.task->name() + " p" + std::to_string(dt.patch_id));
+  // Sec V-C 3(b)i: post nonblocking sends for the completed task.
+  for (const task::ExtComm& sc : dt.sends) post_send(ctx, sc);
+  for (int succ : dt.successors) {
+    DtState& ss = state_[static_cast<std::size_t>(succ)];
+    USW_ASSERT(ss.pending_preds > 0);
+    if (--ss.pending_preds == 0 && ss.pending_recvs == 0 && !ss.done)
+      ready_.insert(succ);
+  }
+}
+
+bool Scheduler::progress_comm(task::TaskContext& ctx) {
+  if (open_recvs_.empty() && open_sends_.empty()) return false;
+  std::vector<comm::RequestId> all;
+  all.reserve(open_recvs_.size() + open_sends_.size());
+  all.insert(all.end(), open_recvs_.begin(), open_recvs_.end());
+  all.insert(all.end(), open_sends_.begin(), open_sends_.end());
+  comm_.test_bulk(all);
+
+  bool any = false;
+  // Completed receives: unpack into the consumer's halo and update deps.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < open_recvs_.size(); ++r) {
+    const comm::RequestId req = open_recvs_[r];
+    if (!comm_.done(req)) {
+      open_recvs_[w] = open_recvs_[r];
+      open_recv_dt_[w] = open_recv_dt_[r];
+      open_recv_comm_[w] = open_recv_comm_[r];
+      ++w;
+      continue;
+    }
+    any = true;
+    const task::ExtComm& rc = *open_recv_comm_[r];
+    const TimePs unpack_cost = comm_.net().cost().mpe_pack(rc.bytes());
+    comm_.advance(unpack_cost);
+    counters_.comm_time += unpack_cost;
+    counters_.pack_bytes += rc.bytes();
+    var::DataWarehouse& dw = dw_for(ctx, rc.dw);
+    if (dw.functional()) {
+      const auto payload = comm_.take_payload(req);
+      dw.get(rc.label, rc.to_patch).unpack(rc.region, payload);
+    }
+    trace_.record(comm_.now(), sim::EventKind::kRecvDone,
+                  rc.label->name() + " p" + std::to_string(rc.from_patch) +
+                      "->p" + std::to_string(rc.to_patch));
+    const int dti = open_recv_dt_[r];
+    DtState& st = state_[static_cast<std::size_t>(dti)];
+    USW_ASSERT(st.pending_recvs > 0);
+    if (--st.pending_recvs == 0 && st.pending_preds == 0 && !st.done)
+      ready_.insert(dti);
+  }
+  open_recvs_.resize(w);
+  open_recv_dt_.resize(w);
+  open_recv_comm_.resize(w);
+
+  // Completed sends just leave the outstanding set.
+  std::size_t sw = 0;
+  for (std::size_t s = 0; s < open_sends_.size(); ++s) {
+    if (comm_.done(open_sends_[s])) {
+      any = true;
+      trace_.record(comm_.now(), sim::EventKind::kSendDone, "");
+    } else {
+      open_sends_[sw++] = open_sends_[s];
+    }
+  }
+  open_sends_.resize(sw);
+  return any;
+}
+
+void Scheduler::idle_wait() {
+  TimePs wake = cluster_.earliest_completion();
+  std::vector<comm::RequestId> all;
+  all.insert(all.end(), open_recvs_.begin(), open_recvs_.end());
+  all.insert(all.end(), open_sends_.begin(), open_sends_.end());
+  wake = std::min(wake, comm_.earliest_known_completion(all));
+  const TimePs before = comm_.now();
+  trace_.record(before, sim::EventKind::kWaitBegin, "");
+  comm_.wait_until_time(wake);
+  counters_.wait_time += comm_.now() - before;
+  trace_.record(comm_.now(), sim::EventKind::kWaitEnd, "");
+}
+
+void Scheduler::run_loop_sync(task::TaskContext& ctx) {
+  const int n = static_cast<int>(graph_.tasks.size());
+  while (done_count_ < n) {
+    const int t = pick_ready(-1);
+    if (t >= 0) {
+      mpe_part(ctx, t);
+      if (is_stencil(t)) {
+        if (config_.mode == SchedulerMode::kMpeOnly || !is_offloadable(t)) {
+          run_stencil_on_mpe(ctx, t);
+        } else {
+          // Synchronous MPE+CPE: offload, then spin on the flag
+          // (Sec V-C, "synchronous MPE+CPE mode"). Always group 0.
+          offload_stencil(ctx, t, 0);
+          cluster_.join(0);
+          trace_.record(comm_.now(), sim::EventKind::kOffloadEnd,
+                        graph_.tasks[static_cast<std::size_t>(t)].task->name());
+          offloaded_[0] = -1;
+        }
+      } else {
+        run_mpe_body(ctx, t);
+      }
+      on_finished(ctx, t);
+      continue;
+    }
+    if (!progress_comm(ctx)) idle_wait();
+  }
+}
+
+void Scheduler::run_loop_async(task::TaskContext& ctx) {
+  const int n = static_cast<int>(graph_.tasks.size());
+  const int groups = cluster_.n_groups();
+  auto any_offloaded = [this] {
+    for (int dt : offloaded_)
+      if (dt >= 0) return true;
+    return false;
+  };
+  while (done_count_ < n || any_offloaded()) {
+    bool progressed = false;
+    // 3b: check the completion flags; on completion post sends, mark done.
+    for (int g = 0; g < groups; ++g) {
+      if (offloaded_[static_cast<std::size_t>(g)] >= 0 && cluster_.poll(g)) {
+        const int finished = offloaded_[static_cast<std::size_t>(g)];
+        offloaded_[static_cast<std::size_t>(g)] = -1;
+        trace_.record(comm_.now(), sim::EventKind::kOffloadEnd,
+                      graph_.tasks[static_cast<std::size_t>(finished)].task->name());
+        on_finished(ctx, finished);
+        progressed = true;
+      }
+    }
+    // 3(b)ii-iv: fill every free group with a ready offloadable task —
+    // process its MPE part, offload, and return immediately.
+    bool offloaded_now = false;
+    for (int g = 0; g < groups; ++g) {
+      if (offloaded_[static_cast<std::size_t>(g)] >= 0) continue;
+      const int s = pick_ready(1);
+      if (s < 0) break;
+      mpe_part(ctx, s);
+      offload_stencil(ctx, s, g);
+      offloaded_now = true;
+    }
+    if (offloaded_now) continue;
+    // 3c: test posted sends and receives.
+    if (progress_comm(ctx)) progressed = true;
+    // 3d: execute other MPE tasks (reductions, small kernels).
+    const int m = pick_ready(0);
+    if (m >= 0) {
+      mpe_part(ctx, m);
+      if (is_stencil(m))
+        run_stencil_on_mpe(ctx, m);  // below the small-kernel threshold
+      else
+        run_mpe_body(ctx, m);
+      on_finished(ctx, m);
+      continue;
+    }
+    if (!progressed) idle_wait();
+  }
+}
+
+void Scheduler::drain_sends() {
+  if (!open_sends_.empty()) comm_.wait_all(open_sends_);
+  open_sends_.clear();
+  USW_ASSERT_MSG(open_recvs_.empty(), "timestep ended with unmatched receives");
+}
+
+void Scheduler::finalize_reductions(task::TaskContext& ctx) {
+  for (std::size_t r = 0; r < graph_.reductions.size(); ++r) {
+    const task::ReductionInfo& info = graph_.reductions[r];
+    USW_ASSERT_MSG(reduction_remaining_[r] == 0,
+                   "reduction finalized before all local parts ran");
+    trace_.record(comm_.now(), sim::EventKind::kReduceBegin,
+                  info.task->name());
+    double v = reduction_acc_[r];
+    switch (info.task->reduce_op()) {
+      case task::ReduceOp::kSum: v = comm_.allreduce_sum(v); break;
+      case task::ReduceOp::kMin: v = comm_.allreduce_min(v); break;
+      case task::ReduceOp::kMax: v = comm_.allreduce_max(v); break;
+    }
+    counters_.reductions += 1;
+    ctx.new_dw->put_reduction(info.task->reduction_result(), v);
+    trace_.record(comm_.now(), sim::EventKind::kReduceEnd, info.task->name());
+  }
+}
+
+}  // namespace usw::sched

@@ -1,0 +1,154 @@
+#pragma once
+
+// The Sunway-specific task schedulers (Sec V).
+//
+// One Scheduler instance drives one rank (one core-group: MPE + 64 CPEs).
+// Three operating modes reproduce the paper's Table IV:
+//
+//   kMpeOnly      ("host.*")  - step 3(b)iv executes the ready kernel on
+//                               the MPE, no offload, no tiling;
+//   kSyncMpeCpe   ("acc.sync") - kernels are offloaded, but the MPE spins
+//                               on the completion flag: no overlap;
+//   kAsyncMpeCpe  ("acc.async")- the paper's contribution: the MPE offloads
+//                               a kernel, returns immediately, and spends
+//                               the kernel's flight time progressing MPI,
+//                               packing ghosts, and running MPE tasks,
+//                               polling the completion flag "at times".
+//
+// Kernel vectorization ("acc_simd.*") is orthogonal and selected by
+// SchedulerConfig::vectorize.
+//
+// The execute() loop follows Sec V-C:
+//   1/2. (done at compile time: graph + load balancer)
+//   3a.  post nonblocking receives for tasks depending on remote data;
+//   3b.  flag set => post sends for the finished task, select the next
+//        ready offloadable task, process its MPE part, offload;
+//   3c.  test posted sends/receives, update dependent task status;
+//   3d.  run ready MPE tasks (reductions, small kernels);
+//   4.   per-step bookkeeping (fixed cost), reduction allreduces.
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "athread/athread.h"
+#include "comm/comm.h"
+#include "hw/perf_counters.h"
+#include "sim/trace.h"
+#include "task/graph.h"
+#include "var/datawarehouse.h"
+
+namespace usw::sched {
+
+enum class SchedulerMode { kMpeOnly, kSyncMpeCpe, kAsyncMpeCpe };
+
+const char* to_string(SchedulerMode mode);
+
+/// Order in which ready tasks are selected (Sec V-C 3(b)ii leaves this
+/// open; Uintah's schedulers expose similar policies).
+enum class SelectionPolicy {
+  kGraphOrder,        ///< compiled order (task-major, patch-major)
+  kRemoteFeedsFirst,  ///< tasks with the most remote consumers first, so
+                      ///< their sends enter the network earliest
+};
+
+struct SchedulerConfig {
+  SchedulerMode mode = SchedulerMode::kAsyncMpeCpe;
+  bool vectorize = false;  ///< use the SIMD kernel variants
+  SelectionPolicy selection = SelectionPolicy::kGraphOrder;
+
+  // Future-work options (paper Sec IX). The CPE cluster is split into
+  // cpe_groups independent groups; the async scheduler keeps one kernel in
+  // flight per group (task + data parallelism on a CG). Synchronous modes
+  // always use group 0 only.
+  int cpe_groups = 1;
+  bool async_dma = false;     ///< double-buffered tile DMA
+  bool packed_tiles = false;  ///< contiguous tile transfers
+
+  /// Stencil tasks on patches of at most this many cells run directly on
+  /// the MPE even in offload modes — the "small kernels" of Sec V-C 3d,
+  /// where the athread launch + tile staging overhead exceeds the win from
+  /// 64 slow CPEs. 0 disables the heuristic.
+  std::uint64_t mpe_kernel_threshold_cells = 0;
+};
+
+/// Per-timestep result for one rank.
+struct StepStats {
+  TimePs wall = 0;  ///< virtual time this rank spent on the step
+};
+
+class Scheduler {
+ public:
+  Scheduler(SchedulerConfig config, const grid::Level& level,
+            const task::CompiledGraph& graph, comm::Comm& comm,
+            athread::CpeCluster& cluster, hw::PerfCounters& counters,
+            sim::Trace& trace);
+
+  /// Executes one timestep of the compiled graph. `ctx` supplies the data
+  /// warehouses and time information; reduction results are stored into
+  /// ctx.new_dw. Collective: every rank must call it for the same step.
+  StepStats execute(task::TaskContext& ctx);
+
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct DtState {
+    int pending_preds = 0;
+    int pending_recvs = 0;
+    bool done = false;
+  };
+
+  // --- step phases ---
+  void allocate_outputs(task::TaskContext& ctx);
+  void post_recvs(task::TaskContext& ctx);
+  void post_send(task::TaskContext& ctx, const task::ExtComm& sc);
+  void post_initial_sends(task::TaskContext& ctx);
+  void run_loop_sync(task::TaskContext& ctx);
+  void run_loop_async(task::TaskContext& ctx);
+  void drain_sends();
+  void finalize_reductions(task::TaskContext& ctx);
+
+  // --- helpers ---
+  /// First ready detailed task satisfying `want_stencil` (or any when
+  /// want_stencil < 0); -1 if none.
+  int pick_ready(int want_stencil);
+  bool is_stencil(int dt_index) const;
+  /// Stencil destined for the CPE cluster (above the small-kernel
+  /// threshold); small stencils are scheduled like MPE tasks.
+  bool is_offloadable(int dt_index) const;
+  void mpe_part(task::TaskContext& ctx, int dt_index);
+  void run_stencil_on_mpe(task::TaskContext& ctx, int dt_index);
+  void offload_stencil(task::TaskContext& ctx, int dt_index, int group);
+  void run_mpe_body(task::TaskContext& ctx, int dt_index);
+  void on_finished(task::TaskContext& ctx, int dt_index);
+  /// Tests outstanding receives/sends; unpacks completed receives.
+  /// Returns true if anything completed.
+  bool progress_comm(task::TaskContext& ctx);
+  void idle_wait();
+  var::DataWarehouse& dw_for(task::TaskContext& ctx, task::WhichDW which) const;
+  kern::FieldView view_of(var::DataWarehouse& dw, const var::VarLabel* label,
+                          int patch_id) const;
+  kern::KernelEnv env_of(const task::TaskContext& ctx) const;
+
+  SchedulerConfig config_;
+  const grid::Level& level_;
+  const task::CompiledGraph& graph_;
+  comm::Comm& comm_;
+  athread::CpeCluster& cluster_;
+  hw::PerfCounters& counters_;
+  sim::Trace& trace_;
+
+  // Transient per-step state.
+  std::vector<DtState> state_;
+  std::set<int> ready_;                    ///< deterministic (index order)
+  std::vector<comm::RequestId> open_recvs_;
+  std::vector<int> open_recv_dt_;          ///< parallel: owning dt index
+  std::vector<const task::ExtComm*> open_recv_comm_;  ///< parallel: metadata
+  std::vector<comm::RequestId> open_sends_;
+  std::vector<double> reduction_acc_;
+  std::vector<int> reduction_remaining_;
+  int done_count_ = 0;
+  std::vector<int> offloaded_;             ///< per CPE group: dt index or -1
+};
+
+}  // namespace usw::sched

@@ -1,0 +1,46 @@
+#pragma once
+
+// The CPE tile scheduler (Sec V-D).
+//
+// Builds the athread job that executes one stencil kernel over one patch on
+// a CPE group: each CPE computes its statically assigned tiles
+// (z-partitioned, Sec V-D step 1), and for each tile performs
+//   athread_get (ghosted tile -> LDM) -> kernel on LDM -> athread_put,
+// finishing with the faaw increment modeled inside CpeCluster. LDM
+// capacity is genuinely enforced: staging buffers are allocated from the
+// 64 KB Ldm model and overflow throws ResourceError.
+//
+// Two of the paper's future-work optimizations (Sec IX) are available:
+//   * async_dma  - double-buffered tiles: the next tile's athread_get and
+//     the previous tile's athread_put overlap with the current tile's
+//     compute. Costs the LDM twice the buffers, so it forces smaller
+//     tiles — the real trade-off the paper's authors would have faced.
+//   * packed_tiles - tiles are stored contiguously in main memory, so DMA
+//     runs at the packed (higher) efficiency instead of the strided one.
+
+#include "athread/athread.h"
+#include "grid/box.h"
+#include "grid/tiling.h"
+#include "kern/kernel.h"
+
+namespace usw::sched {
+
+struct TileExecArgs {
+  const kern::KernelVariants* kernel = nullptr;
+  kern::KernelEnv env;
+  /// Input over the patch's ghosted box; invalid view => timing-only.
+  kern::FieldView in;
+  /// Output covering at least the patch interior.
+  kern::FieldView out;
+  grid::Box patch_cells;
+  bool vectorize = false;
+  bool async_dma = false;    ///< double-buffered DMA pipeline (Sec IX)
+  bool packed_tiles = false; ///< contiguous tile transfers (Sec IX)
+  double cost_scale = 1.0;   ///< per-patch work multiplier
+};
+
+/// Job for CpeCluster::spawn. Copies `args` by value; the views must stay
+/// valid until the offload completes.
+athread::CpeJob make_tile_job(TileExecArgs args);
+
+}  // namespace usw::sched

@@ -1,0 +1,192 @@
+#include "sim/coordinator.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include "support/log.h"
+
+namespace usw::sim {
+
+Coordinator::Coordinator(int nranks) : ranks_(static_cast<std::size_t>(nranks)) {
+  USW_ASSERT_MSG(nranks > 0, "coordinator needs at least one rank");
+}
+
+void Coordinator::start(int rank) {
+  std::unique_lock<std::mutex> lk(lock_);
+  RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+  USW_ASSERT_MSG(slot.state == State::kUnstarted, "rank started twice");
+  slot.state = State::kReady;
+  slot.clock = 0;
+  if (running_ < 0) pick_next_locked();
+  block_until_running_locked(lk, rank);
+}
+
+void Coordinator::finish(int rank) {
+  std::unique_lock<std::mutex> lk(lock_);
+  RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+  USW_ASSERT_MSG(slot.state == State::kRunning || cancelled_,
+                 "finish requires the token");
+  slot.state = State::kFinished;
+  if (running_ == rank) {
+    running_ = -1;
+    pick_next_locked();
+  }
+}
+
+TimePs Coordinator::now(int rank) const {
+  std::lock_guard<std::mutex> lk(lock_);
+  return ranks_.at(static_cast<std::size_t>(rank)).clock;
+}
+
+void Coordinator::advance(int rank, TimePs dt) {
+  USW_ASSERT_MSG(dt >= 0, "cannot advance virtual time backwards");
+  std::lock_guard<std::mutex> lk(lock_);
+  RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+  USW_ASSERT_MSG(slot.state == State::kRunning, "advance requires the token");
+  slot.clock += dt;
+}
+
+void Coordinator::gate(int rank) {
+  std::unique_lock<std::mutex> lk(lock_);
+  if (cancelled_) throw Cancelled(cancel_reason_);
+  RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+  USW_ASSERT_MSG(slot.state == State::kRunning, "gate requires the token");
+  slot.state = State::kReady;
+  running_ = -1;
+  pick_next_locked();
+  block_until_running_locked(lk, rank);
+}
+
+void Coordinator::wait_until(int rank, TimePs wake) {
+  std::unique_lock<std::mutex> lk(lock_);
+  if (cancelled_) throw Cancelled(cancel_reason_);
+  RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+  USW_ASSERT_MSG(slot.state == State::kRunning, "wait_until requires the token");
+  if (wake != kNever && wake <= slot.clock) return;  // already past the event
+  slot.state = State::kWaiting;
+  slot.wake = wake;
+  running_ = -1;
+  pick_next_locked();
+  block_until_running_locked(lk, rank);
+}
+
+void Coordinator::notify(int rank, TimePs stamp) {
+  std::lock_guard<std::mutex> lk(lock_);
+  RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+  if (slot.state != State::kWaiting) return;  // will observe it when it polls
+  const TimePs effective = std::max(stamp, slot.clock);
+  slot.wake = std::min(slot.wake, effective);
+}
+
+void Coordinator::cancel(const std::string& why) {
+  std::lock_guard<std::mutex> lk(lock_);
+  if (cancelled_) return;
+  cancelled_ = true;
+  cancel_reason_ = why;
+  running_ = -1;
+  for (auto& slot : ranks_) slot.cv.notify_all();
+}
+
+bool Coordinator::cancelled() const {
+  std::lock_guard<std::mutex> lk(lock_);
+  return cancelled_;
+}
+
+void Coordinator::pick_next_locked() {
+  USW_ASSERT(running_ < 0);
+  if (cancelled_) return;
+  // Hold everyone at the starting line until every rank thread has
+  // registered; otherwise an early rank could race ahead of a rank that is
+  // still at virtual time zero, breaking the min-clock invariant.
+  for (const RankSlot& slot : ranks_)
+    if (slot.state == State::kUnstarted) return;
+  int best = -1;
+  TimePs best_time = kNever;
+  bool any_unfinished = false;
+  for (int r = 0; r < size(); ++r) {
+    const RankSlot& slot = ranks_[static_cast<std::size_t>(r)];
+    switch (slot.state) {
+      case State::kReady:
+        any_unfinished = true;
+        if (slot.clock < best_time) {
+          best = r;
+          best_time = slot.clock;
+        }
+        break;
+      case State::kWaiting:
+        any_unfinished = true;
+        if (slot.wake != kNever && slot.wake < best_time) {
+          best = r;
+          best_time = slot.wake;
+        }
+        break;
+      case State::kUnstarted:
+      case State::kRunning:
+        USW_ASSERT_MSG(false, "pick_next with a running or unstarted rank");
+        break;
+      case State::kFinished:
+        break;
+    }
+  }
+  if (best < 0) {
+    if (!any_unfinished) return;  // everyone done
+    // Every unfinished rank is waiting on kNever: no event can ever fire.
+    std::ostringstream os;
+    os << "virtual-time deadlock:";
+    for (int r = 0; r < size(); ++r) {
+      const RankSlot& slot = ranks_[static_cast<std::size_t>(r)];
+      if (slot.state == State::kWaiting)
+        os << " rank " << r << " waiting at t=" << slot.clock;
+    }
+    cancelled_ = true;
+    cancel_reason_ = os.str();
+    for (auto& slot : ranks_) slot.cv.notify_all();
+    return;
+  }
+  RankSlot& chosen = ranks_[static_cast<std::size_t>(best)];
+  if (chosen.state == State::kWaiting) {
+    chosen.clock = std::max(chosen.clock, chosen.wake);
+    chosen.wake = kNever;
+  }
+  chosen.state = State::kRunning;
+  running_ = best;
+  chosen.cv.notify_all();
+}
+
+void Coordinator::block_until_running_locked(std::unique_lock<std::mutex>& lk, int rank) {
+  RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+  slot.cv.wait(lk, [this, &slot] {
+    return cancelled_ || slot.state == State::kRunning;
+  });
+  if (cancelled_) throw Cancelled(cancel_reason_);
+}
+
+void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body) {
+  Coordinator coord(nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&coord, &body, &errors, r] {
+      try {
+        coord.start(r);
+        body(coord, r);
+        coord.finish(r);
+      } catch (const Cancelled&) {
+        // Another rank failed (or deadlock); its error is reported below.
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        coord.cancel("rank " + std::to_string(r) + " threw an exception");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors)
+    if (err) std::rethrow_exception(err);
+  // A deadlock cancels every rank with sim::Cancelled, which the lambda
+  // swallows; surface it as a StateError here.
+  if (coord.cancelled()) throw StateError("simulation did not complete (deadlock)");
+}
+
+}  // namespace usw::sim

@@ -1,0 +1,116 @@
+#pragma once
+
+// Deterministic discrete-event execution of simulated MPI ranks.
+//
+// Each simulated rank (one Sunway core-group in this project) runs on its
+// own host thread and owns a virtual clock in integer picoseconds. The
+// Coordinator enforces the conservative parallel-discrete-event invariant:
+// a rank may only *observe* shared state (incoming messages) while it holds
+// the execution token, and the token is always granted to the rank with the
+// minimum virtual time. Because a message sent at sender time S arrives at
+// S + latency > S, every message that can influence a rank at time T has
+// physically been enqueued by the time that rank runs at T. Simulated
+// timings are therefore exactly reproducible regardless of host scheduling.
+//
+// Rank states:
+//   kReady    - wants to run; eligible at its clock.
+//   kRunning  - holds the token (at most one rank at a time).
+//   kWaiting  - blocked until its wake time; the wake time may be lowered
+//               by Coordinator::notify() when a matching message arrives,
+//               and may be kNever if the rank has no locally-known event.
+//   kFinished - rank function returned.
+//
+// Deadlock (all unfinished ranks waiting on kNever) is detected and turns
+// into a StateError on every participating rank, so tests can assert on it.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "support/units.h"
+
+namespace usw::sim {
+
+/// Sentinel wake time: "no locally known wake event".
+inline constexpr TimePs kNever = std::numeric_limits<TimePs>::max();
+
+/// Thrown inside rank bodies when the simulation is cancelled (another rank
+/// threw, or deadlock was detected).
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& why) : Error("simulation cancelled: " + why) {}
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(int nranks);
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+
+  /// Registers the calling thread as `rank` and blocks until it is granted
+  /// the token for the first time.
+  void start(int rank);
+
+  /// Marks `rank` finished and hands the token to the next eligible rank.
+  void finish(int rank);
+
+  /// Current virtual time of `rank`.
+  TimePs now(int rank) const;
+
+  /// Adds local work time. Only legal while `rank` holds the token.
+  void advance(int rank, TimePs dt);
+
+  /// Releases the token and blocks until `rank` again has the minimum
+  /// clock. Must be called before observing incoming messages.
+  void gate(int rank);
+
+  /// Blocks until virtual time `wake` (a locally known future event such as
+  /// an offloaded kernel completing), or earlier if notify() reports an
+  /// external event first. On return the rank holds the token and its clock
+  /// equals the wake time that fired. `wake == kNever` blocks purely on
+  /// external notification.
+  void wait_until(int rank, TimePs wake);
+
+  /// Reports an external event for `rank` (e.g. message arrival) stamped at
+  /// virtual time `stamp`. Callable from any rank holding the token.
+  void notify(int rank, TimePs stamp);
+
+  /// Cancels the simulation; all blocked ranks throw Cancelled.
+  void cancel(const std::string& why);
+
+  bool cancelled() const;
+
+ private:
+  enum class State : std::uint8_t { kUnstarted, kReady, kRunning, kWaiting, kFinished };
+
+  struct RankSlot {
+    State state = State::kUnstarted;
+    TimePs clock = 0;
+    TimePs wake = kNever;
+    std::condition_variable cv;
+  };
+
+  /// Picks and signals the next rank to run. Requires lock_ held and no
+  /// rank currently running.
+  void pick_next_locked();
+
+  /// Blocks the calling rank until it is running (or cancellation).
+  void block_until_running_locked(std::unique_lock<std::mutex>& lk, int rank);
+
+  mutable std::mutex lock_;
+  std::vector<RankSlot> ranks_;
+  int running_ = -1;
+  bool cancelled_ = false;
+  std::string cancel_reason_;
+};
+
+/// Runs `body` once per rank on `nranks` host threads under a Coordinator.
+/// Rethrows the first rank exception after all threads join.
+void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body);
+
+}  // namespace usw::sim

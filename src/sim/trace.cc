@@ -1,0 +1,61 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace usw::sim {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTaskBegin: return "task_begin";
+    case EventKind::kTaskEnd: return "task_end";
+    case EventKind::kOffloadBegin: return "offload_begin";
+    case EventKind::kOffloadEnd: return "offload_end";
+    case EventKind::kKernelBegin: return "kernel_begin";
+    case EventKind::kKernelEnd: return "kernel_end";
+    case EventKind::kSendPosted: return "send_posted";
+    case EventKind::kSendDone: return "send_done";
+    case EventKind::kRecvPosted: return "recv_posted";
+    case EventKind::kRecvDone: return "recv_done";
+    case EventKind::kReduceBegin: return "reduce_begin";
+    case EventKind::kReduceEnd: return "reduce_end";
+    case EventKind::kWaitBegin: return "wait_begin";
+    case EventKind::kWaitEnd: return "wait_end";
+  }
+  return "unknown";
+}
+
+std::vector<TraceEvent> Trace::filter(EventKind kind) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_)
+    if (e.kind == kind) out.push_back(e);
+  return out;
+}
+
+TimePs Trace::total_between(EventKind begin, EventKind end) const {
+  TimePs total = 0;
+  TimePs open = -1;
+  int depth = 0;
+  for (const auto& e : events_) {
+    if (e.kind == begin) {
+      if (depth == 0) open = e.time;
+      ++depth;
+    } else if (e.kind == end) {
+      USW_ASSERT_MSG(depth > 0, "trace end event without matching begin");
+      --depth;
+      if (depth == 0) total += e.time - open;
+    }
+  }
+  USW_ASSERT_MSG(depth == 0, "trace begin event without matching end");
+  return total;
+}
+
+std::string Trace::dump() const {
+  std::ostringstream os;
+  for (const auto& e : events_)
+    os << format_duration(e.time) << "  " << to_string(e.kind) << "  " << e.label << '\n';
+  return os.str();
+}
+
+}  // namespace usw::sim

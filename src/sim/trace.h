@@ -1,0 +1,73 @@
+#pragma once
+
+// Per-rank event traces of the simulated execution.
+//
+// Schedulers record begin/end events for kernels, MPI operations, and
+// scheduling decisions. Tests use the trace to verify *behaviour* — e.g.
+// that the asynchronous scheduler really does progress communication while
+// a CPE kernel is in flight — and benchmark drivers can dump it for
+// inspection. Recording is O(1) per event and disabled by default.
+
+#include <string>
+#include <vector>
+
+#include "support/units.h"
+
+namespace usw::sim {
+
+enum class EventKind {
+  kTaskBegin,
+  kTaskEnd,
+  kOffloadBegin,   // kernel handed to the CPE cluster
+  kOffloadEnd,     // completion flag observed set
+  kKernelBegin,    // CPE cluster starts computing (virtual)
+  kKernelEnd,      // CPE cluster done (virtual)
+  kSendPosted,
+  kSendDone,
+  kRecvPosted,
+  kRecvDone,
+  kReduceBegin,
+  kReduceEnd,
+  kWaitBegin,
+  kWaitEnd,
+};
+
+const char* to_string(EventKind kind);
+
+struct TraceEvent {
+  TimePs time = 0;
+  EventKind kind = EventKind::kTaskBegin;
+  std::string label;
+};
+
+class Trace {
+ public:
+  /// Enables recording; off by default so hot paths stay cheap.
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(TimePs time, EventKind kind, std::string label) {
+    if (!enabled_) return;
+    events_.push_back(TraceEvent{time, kind, std::move(label)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind, in time order (events are appended in time order
+  /// because each rank's virtual clock is monotone).
+  std::vector<TraceEvent> filter(EventKind kind) const;
+
+  /// Total virtual time spent between matching begin/end pairs of the given
+  /// kinds (e.g. kKernelBegin/kKernelEnd).
+  TimePs total_between(EventKind begin, EventKind end) const;
+
+  /// Renders one line per event, for debugging.
+  std::string dump() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace usw::sim

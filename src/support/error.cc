@@ -1,0 +1,17 @@
+#include "support/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace usw::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "uintah-sw assertion failed: %s\n  at %s:%d\n", expr,
+               file, line);
+  if (!msg.empty()) std::fprintf(stderr, "  %s\n", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace usw::detail

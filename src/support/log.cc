@@ -1,0 +1,55 @@
+#include "support/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace usw::log {
+namespace {
+
+Level parse_env() {
+  const char* env = std::getenv("USW_LOG");
+  if (env == nullptr) return Level::kWarn;
+  if (std::strcmp(env, "error") == 0) return Level::kError;
+  if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(env, "info") == 0) return Level::kInfo;
+  if (std::strcmp(env, "debug") == 0) return Level::kDebug;
+  if (std::strcmp(env, "trace") == 0) return Level::kTrace;
+  return Level::kWarn;
+}
+
+std::atomic<int> g_level{static_cast<int>(parse_env())};
+std::mutex g_mutex;
+
+const char* tag(Level lvl) {
+  switch (lvl) {
+    case Level::kError: return "E";
+    case Level::kWarn: return "W";
+    case Level::kInfo: return "I";
+    case Level::kDebug: return "D";
+    case Level::kTrace: return "T";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() { return static_cast<Level>(g_level.load(std::memory_order_relaxed)); }
+
+void set_level(Level lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& msg) {
+  std::string line;
+  line.reserve(msg.size() + 8);
+  line += "[usw ";
+  line += tag(lvl);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace usw::log

@@ -1,0 +1,57 @@
+#pragma once
+
+// Minimal leveled logger.
+//
+// Controlled by the USW_LOG environment variable ("error", "warn", "info",
+// "debug", "trace") or programmatically via set_level(). Thread safe: a
+// whole record is formatted into one string and written with a single mutex-
+// protected fwrite, so interleaved ranks do not shred each other's lines.
+
+#include <sstream>
+#include <string>
+
+namespace usw::log {
+
+enum class Level : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Current threshold; records above it are dropped.
+Level level();
+void set_level(Level lvl);
+
+/// True if a record at `lvl` would be emitted.
+inline bool enabled(Level lvl) { return static_cast<int>(lvl) <= static_cast<int>(level()); }
+
+/// Emit one record (appends newline).
+void write(Level lvl, const std::string& msg);
+
+namespace detail {
+class Record {
+ public:
+  explicit Record(Level lvl) : lvl_(lvl) {}
+  ~Record() { write(lvl_, os_.str()); }
+  Record(const Record&) = delete;
+  Record& operator=(const Record&) = delete;
+  template <typename T>
+  Record& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace usw::log
+
+#define USW_LOG(lvl)                                  \
+  if (!::usw::log::enabled(::usw::log::Level::lvl)) { \
+  } else                                              \
+    ::usw::log::detail::Record(::usw::log::Level::lvl)
+
+#define USW_ERROR USW_LOG(kError)
+#define USW_WARN USW_LOG(kWarn)
+#define USW_INFO USW_LOG(kInfo)
+#define USW_DEBUG USW_LOG(kDebug)
+#define USW_TRACE USW_LOG(kTrace)

@@ -1,0 +1,63 @@
+#include "support/options.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "support/error.h"
+
+namespace usw {
+
+void Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Options::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Options::get(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Options::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw ConfigError("option --" + key + " expects an integer, got '" + it->second + "'");
+  }
+}
+
+double Options::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw ConfigError("option --" + key + " expects a number, got '" + it->second + "'");
+  }
+}
+
+bool Options::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw ConfigError("option --" + key + " expects a boolean, got '" + v + "'");
+}
+
+}  // namespace usw

@@ -1,0 +1,41 @@
+#pragma once
+
+// Tiny command-line option parser for examples and benchmark drivers.
+//
+// Accepts "--key=value" and bare "--flag" (boolean true). Anything not
+// starting with "--" is collected as a positional argument. The space-
+// separated "--key value" form is intentionally not supported: it is
+// ambiguous against positionals following a bare flag.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace usw {
+
+class Options {
+ public:
+  Options() = default;
+  Options(int argc, const char* const* argv) { parse(argc, argv); }
+
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get(const std::string& key, const std::string& def = "") const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All parsed key/value pairs (for echoing the configuration).
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace usw

@@ -1,0 +1,40 @@
+#pragma once
+
+// Running statistics and simple sample summaries used by the benchmark
+// harness and the scheduler instrumentation.
+
+#include <cstddef>
+#include <vector>
+
+namespace usw {
+
+/// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation, p in [0,100]).
+/// Copies and sorts; intended for end-of-run summaries, not hot paths.
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace usw

@@ -1,0 +1,53 @@
+#include "support/units.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace usw {
+
+TimePs seconds_to_ps(double s) {
+  USW_ASSERT_MSG(s >= 0.0, "negative duration");
+  const double ticks = s * 1e12;
+  USW_ASSERT_MSG(ticks < 9.2e18, "duration overflows TimePs");
+  return static_cast<TimePs>(std::llround(ticks));
+}
+
+std::string format_duration(TimePs t) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  const double d = static_cast<double>(t);
+  if (t < kNanosecond) {
+    os << t << " ps";
+  } else if (t < kMicrosecond) {
+    os << d / static_cast<double>(kNanosecond) << " ns";
+  } else if (t < kMillisecond) {
+    os << d / static_cast<double>(kMicrosecond) << " us";
+  } else if (t < kSecond) {
+    os << d / static_cast<double>(kMillisecond) << " ms";
+  } else {
+    os << d / static_cast<double>(kSecond) << " s";
+  }
+  return os.str();
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed;
+  const double b = static_cast<double>(bytes);
+  if (bytes < 1_KiB) {
+    os << bytes << " B";
+  } else if (bytes < 1_MiB) {
+    os << b / static_cast<double>(1_KiB) << " KiB";
+  } else if (bytes < 1_GiB) {
+    os << b / static_cast<double>(1_MiB) << " MiB";
+  } else {
+    os << b / static_cast<double>(1_GiB) << " GiB";
+  }
+  return os.str();
+}
+
+}  // namespace usw

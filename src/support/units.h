@@ -1,0 +1,40 @@
+#pragma once
+
+// Unit helpers shared by the hardware model and benchmark output.
+//
+// Virtual time throughout the simulator is an integer count of picoseconds
+// (`TimePs`). Integer time makes the discrete-event simulation exactly
+// reproducible: no accumulation-order effects, no platform-dependent
+// rounding. One tick = 1 ps; the representable range (~106 days) is far
+// beyond any simulated run.
+
+#include <cstdint>
+#include <string>
+
+namespace usw {
+
+using TimePs = std::int64_t;
+
+inline constexpr TimePs kPicosecond = 1;
+inline constexpr TimePs kNanosecond = 1000;
+inline constexpr TimePs kMicrosecond = 1000 * kNanosecond;
+inline constexpr TimePs kMillisecond = 1000 * kMicrosecond;
+inline constexpr TimePs kSecond = 1000 * kMillisecond;
+
+/// Converts seconds (double) to picoseconds, rounding to nearest tick.
+TimePs seconds_to_ps(double s);
+
+/// Converts picoseconds to seconds.
+inline double ps_to_seconds(TimePs t) { return static_cast<double>(t) * 1e-12; }
+
+/// Human-readable duration like "1.234 ms".
+std::string format_duration(TimePs t);
+
+/// Human-readable byte count like "2.0 GB" (powers of two).
+std::string format_bytes(std::uint64_t bytes);
+
+inline constexpr std::uint64_t operator"" _KiB(unsigned long long v) { return v * 1024ull; }
+inline constexpr std::uint64_t operator"" _MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+inline constexpr std::uint64_t operator"" _GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+}  // namespace usw

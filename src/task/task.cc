@@ -1,0 +1,87 @@
+#include "task/task.h"
+
+#include "support/error.h"
+
+namespace usw::task {
+
+std::unique_ptr<Task> Task::make_stencil(std::string name,
+                                         const var::VarLabel* in,
+                                         const var::VarLabel* out,
+                                         kern::KernelVariants kernel,
+                                         WhichDW in_dw) {
+  USW_ASSERT(in != nullptr && out != nullptr);
+  USW_ASSERT_MSG(static_cast<bool>(kernel.scalar),
+                 "stencil task needs at least a scalar kernel");
+  // With in_dw == kOld, `in` and `out` may be the same label (Uintah-style:
+  // input in the old warehouse, output in the new one). Chained stages
+  // (in_dw == kNew) must use distinct labels, or the task would read its
+  // own output.
+  USW_ASSERT_MSG(in_dw == WhichDW::kOld || in != out,
+                 "a new-DW stencil input cannot be its own output");
+  auto t = std::unique_ptr<Task>(new Task(std::move(name), Type::kStencil));
+  t->stencil_in_ = in;
+  t->stencil_out_ = out;
+  t->stencil_in_dw_ = in_dw;
+  t->kernel_ = std::move(kernel);
+  t->add_requires(in, in_dw, t->kernel_.ghost);
+  t->add_computes(out);
+  return t;
+}
+
+std::unique_ptr<Task> Task::make_mpe(std::string name, MpeActionFn action) {
+  USW_ASSERT_MSG(static_cast<bool>(action), "MPE task needs an action");
+  auto t = std::unique_ptr<Task>(new Task(std::move(name), Type::kMpeAction));
+  t->mpe_action_ = std::move(action);
+  return t;
+}
+
+std::unique_ptr<Task> Task::make_reduction(std::string name,
+                                           const var::VarLabel* result,
+                                           ReduceOp op, ReductionFn local,
+                                           hw::KernelCost scan_cost) {
+  USW_ASSERT(result != nullptr);
+  USW_ASSERT_MSG(static_cast<bool>(local), "reduction task needs a local body");
+  auto t = std::unique_ptr<Task>(new Task(std::move(name), Type::kReduction));
+  t->reduction_result_ = result;
+  t->reduce_op_ = op;
+  t->reduction_local_ = std::move(local);
+  t->scan_cost_ = scan_cost;
+  return t;
+}
+
+Task& Task::add_requires(const var::VarLabel* label, WhichDW dw, int ghost) {
+  USW_ASSERT(label != nullptr && ghost >= 0);
+  requires_.push_back(Requires{label, dw, ghost});
+  return *this;
+}
+
+Task& Task::add_computes(const var::VarLabel* label) {
+  USW_ASSERT(label != nullptr);
+  computes_.push_back(Computes{label});
+  return *this;
+}
+
+Task& Task::add_modifies(const var::VarLabel* label) {
+  USW_ASSERT(label != nullptr);
+  modifies_.push_back(Modifies{label});
+  // A modify is also a read-after-write dependency on the previous writer.
+  requires_.push_back(Requires{label, WhichDW::kNew, 0});
+  return *this;
+}
+
+const kern::KernelVariants& Task::kernel() const {
+  USW_ASSERT_MSG(type_ == Type::kStencil, "kernel() on a non-stencil task");
+  return kernel_;
+}
+
+const MpeActionFn& Task::mpe_action() const {
+  USW_ASSERT_MSG(type_ == Type::kMpeAction, "mpe_action() on a non-MPE task");
+  return mpe_action_;
+}
+
+const ReductionFn& Task::reduction_local() const {
+  USW_ASSERT_MSG(type_ == Type::kReduction, "reduction_local() on a non-reduction task");
+  return reduction_local_;
+}
+
+}  // namespace usw::task

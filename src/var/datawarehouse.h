@@ -1,0 +1,94 @@
+#pragma once
+
+// The Uintah data warehouse (Sec II): a per-timestep container mapping
+// (variable label, patch) to grid data, plus named reduction scalars.
+//
+// Two warehouses exist at any time: tasks read their inputs from the *old*
+// warehouse (previous timestep's results) and write their outputs to the
+// *new* one. After a timestep completes, the controller swaps them.
+//
+// The warehouse supports a timing-only mode in which grid variables are
+// tracked (box, ghost extent) but never allocated: the benchmark harness
+// uses this to simulate the paper's largest problems (up to 1024^3 cells,
+// 16 GB of field data) without materializing them.
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "grid/level.h"
+#include "var/ccvariable.h"
+#include "var/varlabel.h"
+
+namespace usw::var {
+
+enum class StorageMode {
+  kFunctional,  ///< variables hold real data
+  kTimingOnly,  ///< variables track extents only
+};
+
+class DataWarehouse {
+ public:
+  explicit DataWarehouse(StorageMode mode, int step = 0)
+      : mode_(mode), step_(step) {}
+
+  StorageMode mode() const { return mode_; }
+  bool functional() const { return mode_ == StorageMode::kFunctional; }
+  int step() const { return step_; }
+  void set_step(int step) { step_ = step; }
+
+  // ---- Grid variables ----
+
+  /// Allocates `label` on `patch` with `ghost` halo layers and registers
+  /// it. In timing-only mode, only the extent is recorded. Throws
+  /// StateError if already present.
+  CCVariable<double>& allocate(const VarLabel* label, const grid::Patch& patch,
+                               int ghost);
+
+  /// The variable, which must exist (throws StateError otherwise).
+  CCVariable<double>& get(const VarLabel* label, int patch_id);
+  const CCVariable<double>& get(const VarLabel* label, int patch_id) const;
+
+  /// The variable or nullptr.
+  CCVariable<double>* find(const VarLabel* label, int patch_id);
+
+  bool exists(const VarLabel* label, int patch_id) const;
+
+  /// Ghost halo layers the variable was allocated with.
+  int ghost_of(const VarLabel* label, int patch_id) const;
+
+  /// Moves a variable in from another warehouse (timestep swap helper).
+  void adopt(const VarLabel* label, int patch_id, int ghost,
+             std::unique_ptr<CCVariable<double>> data);
+
+  // ---- Reduction scalars ----
+
+  void put_reduction(const VarLabel* label, double value);
+  double get_reduction(const VarLabel* label) const;
+  bool has_reduction(const VarLabel* label) const;
+
+  /// Discards everything (start of a fresh timestep for the new DW).
+  void clear();
+
+  /// Number of grid variables held (test hygiene).
+  std::size_t num_variables() const { return grid_vars_.size(); }
+
+  /// Transfers all contents of `newer` into this warehouse, replacing it
+  /// (the "new DW becomes the old DW" swap, Sec II).
+  void swap_in(DataWarehouse& newer);
+
+ private:
+  struct Entry {
+    std::unique_ptr<CCVariable<double>> data;  ///< null in timing-only mode
+    grid::Box box;
+    int ghost = 0;
+  };
+  using Key = std::pair<int, int>;  ///< (label id, patch id)
+
+  StorageMode mode_;
+  int step_;
+  std::map<Key, Entry> grid_vars_;
+  std::map<int, double> reductions_;
+};
+
+}  // namespace usw::var

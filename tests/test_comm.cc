@@ -1,0 +1,308 @@
+// Tests for the MPI-like communication substrate: matching, ordering,
+// payload integrity, timing semantics, collectives, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "comm/comm.h"
+#include "sim/coordinator.h"
+
+namespace usw::comm {
+namespace {
+
+hw::MachineParams machine() { return hw::MachineParams::sunway_taihulight(); }
+
+/// Runs `body(comm, rank)` across `n` simulated ranks.
+template <typename Fn>
+void with_ranks(int n, Fn&& body) {
+  const hw::CostModel cost(machine());
+  Network net(n, cost);
+  sim::run_ranks(n, [&](sim::Coordinator& coord, int rank) {
+    Comm comm(net, coord, rank);
+    body(comm, rank);
+  });
+}
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+TEST(Comm, SendRecvPayloadRoundtrip) {
+  with_ranks(2, [](Comm& comm, int rank) {
+    if (rank == 0) {
+      const auto payload = bytes_of("hello sunway");
+      const RequestId s = comm.isend(1, 7, payload);
+      comm.wait(s);
+    } else {
+      const RequestId r = comm.irecv(0, 7);
+      comm.wait(r);
+      const auto payload = comm.take_payload(r);
+      EXPECT_EQ(std::string(reinterpret_cast<const char*>(payload.data()),
+                            payload.size()),
+                "hello sunway");
+    }
+  });
+}
+
+TEST(Comm, ArrivalRespectsLatencyAndBandwidth) {
+  const hw::CostModel cost(machine());
+  const std::uint64_t bytes = 1024 * 1024;
+  with_ranks(2, [&](Comm& comm, int rank) {
+    if (rank == 0) {
+      comm.isend_bytes(1, 1, bytes);
+    } else {
+      const RequestId r = comm.irecv(0, 1);
+      comm.wait(r);
+      // The receiver cannot see the message before wire latency + transfer.
+      EXPECT_GE(comm.now(), cost.message_transfer(bytes));
+    }
+  });
+}
+
+TEST(Comm, TagsDoNotCrossMatch) {
+  with_ranks(2, [](Comm& comm, int rank) {
+    if (rank == 0) {
+      comm.isend(1, 5, bytes_of("five"));
+      comm.isend(1, 6, bytes_of("six6"));
+    } else {
+      // Post in the opposite order of sending: matching is by tag.
+      const RequestId r6 = comm.irecv(0, 6);
+      const RequestId r5 = comm.irecv(0, 5);
+      comm.wait(r6);
+      comm.wait(r5);
+      const auto p6 = comm.take_payload(r6);
+      EXPECT_EQ(std::memcmp(p6.data(), "six6", 4), 0);
+      const auto p5 = comm.take_payload(r5);
+      EXPECT_EQ(std::memcmp(p5.data(), "five", 4), 0);
+    }
+  });
+}
+
+TEST(Comm, SameTagPreservesSendOrder) {
+  // MPI non-overtaking: two messages with the same (src, tag) must match
+  // receives in posted order.
+  with_ranks(2, [](Comm& comm, int rank) {
+    if (rank == 0) {
+      comm.isend(1, 3, bytes_of("first"));
+      comm.isend(1, 3, bytes_of("secnd"));
+    } else {
+      const RequestId a = comm.irecv(0, 3);
+      const RequestId b = comm.irecv(0, 3);
+      const RequestId ids[] = {a, b};
+      comm.wait_all(ids);
+      EXPECT_EQ(std::memcmp(comm.take_payload(a).data(), "first", 5), 0);
+      EXPECT_EQ(std::memcmp(comm.take_payload(b).data(), "secnd", 5), 0);
+    }
+  });
+}
+
+TEST(Comm, UnexpectedMessageBuffersUntilRecvPosted) {
+  with_ranks(2, [](Comm& comm, int rank) {
+    if (rank == 0) {
+      comm.isend(1, 9, bytes_of("early"));
+      comm.barrier();
+    } else {
+      comm.barrier();  // message likely delivered before the recv exists
+      const RequestId r = comm.irecv(0, 9);
+      comm.wait(r);
+      EXPECT_EQ(std::memcmp(comm.take_payload(r).data(), "early", 5), 0);
+    }
+  });
+}
+
+TEST(Comm, TestDoesNotBlockAndEventuallySucceeds) {
+  with_ranks(2, [](Comm& comm, int rank) {
+    if (rank == 0) {
+      comm.advance(50 * kMicrosecond);
+      comm.isend_bytes(1, 2, 64);
+    } else {
+      const RequestId r = comm.irecv(0, 2);
+      EXPECT_FALSE(comm.test(r));  // nothing sent yet at our virtual time
+      comm.wait(r);
+      EXPECT_TRUE(comm.done(r));
+      EXPECT_EQ(comm.request_bytes(r), 64u);
+    }
+  });
+}
+
+TEST(Comm, TestBulkCompletesManyAtOnce) {
+  constexpr int kN = 16;
+  with_ranks(2, [](Comm& comm, int rank) {
+    if (rank == 0) {
+      for (int i = 0; i < kN; ++i) comm.isend_bytes(1, 100 + i, 32);
+    } else {
+      std::vector<RequestId> ids;
+      for (int i = 0; i < kN; ++i) ids.push_back(comm.irecv(0, 100 + i));
+      comm.wait_all(ids);
+      EXPECT_EQ(comm.test_bulk(ids), static_cast<std::size_t>(kN));
+      EXPECT_EQ(comm.pending_requests(), 0u);
+    }
+  });
+}
+
+TEST(Comm, EarliestKnownCompletionSeesArrivedMessages) {
+  with_ranks(2, [](Comm& comm, int rank) {
+    if (rank == 0) {
+      comm.isend_bytes(1, 4, 1024);
+      comm.barrier();
+    } else {
+      comm.barrier();  // ensures the message is physically in the mailbox
+      const RequestId r = comm.irecv(0, 4);
+      const RequestId ids[] = {r};
+      // Whether or not the arrival stamp is in our past, the wake time of
+      // a physically-arrived matching message must be finite.
+      EXPECT_NE(comm.earliest_known_completion(ids), sim::kNever);
+      comm.wait(r);
+    }
+  });
+}
+
+TEST(Comm, SelfSendAborts) {
+  with_ranks(1, [](Comm& comm, int rank) {
+    (void)rank;
+    EXPECT_DEATH(comm.isend_bytes(0, 1, 8), "self-send");
+  });
+}
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveTest, AllreduceSum) {
+  const int n = GetParam();
+  with_ranks(n, [n](Comm& comm, int rank) {
+    const double v = comm.allreduce_sum(static_cast<double>(rank + 1));
+    EXPECT_DOUBLE_EQ(v, n * (n + 1) / 2.0);
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceMinMax) {
+  const int n = GetParam();
+  with_ranks(n, [n](Comm& comm, int rank) {
+    EXPECT_DOUBLE_EQ(comm.allreduce_min(static_cast<double>(rank)), 0.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(static_cast<double>(rank)),
+                     static_cast<double>(n - 1));
+  });
+}
+
+TEST_P(CollectiveTest, BarrierLeavesNoPendingRequests) {
+  with_ranks(GetParam(), [](Comm& comm, int) {
+    comm.barrier();
+    comm.barrier();
+    EXPECT_EQ(comm.pending_requests(), 0u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16));
+
+TEST(Comm, BackToBackCollectivesStayAligned) {
+  with_ranks(4, [](Comm& comm, int rank) {
+    for (int i = 0; i < 10; ++i) {
+      const double v = comm.allreduce_sum(static_cast<double>(rank));
+      EXPECT_DOUBLE_EQ(v, 6.0);
+    }
+  });
+}
+
+TEST(Comm, DeterministicTimings) {
+  auto run_once = [] {
+    std::vector<TimePs> finals(4);
+    with_ranks(4, [&finals](Comm& comm, int rank) {
+      for (int step = 0; step < 5; ++step) {
+        const int peer = rank ^ 1;
+        const RequestId s = comm.isend_bytes(peer, step, 4096);
+        const RequestId r = comm.irecv(peer, step);
+        comm.wait(s);
+        comm.wait(r);
+        (void)comm.allreduce_sum(1.0);
+      }
+      finals[static_cast<std::size_t>(rank)] = comm.now();
+    });
+    return finals;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Comm, CountersTrackTraffic) {
+  const hw::CostModel cost(machine());
+  Network net(2, cost);
+  hw::PerfCounters c0, c1;
+  sim::run_ranks(2, [&](sim::Coordinator& coord, int rank) {
+    Comm comm(net, coord, rank, rank == 0 ? &c0 : &c1);
+    if (rank == 0) {
+      comm.wait(comm.isend_bytes(1, 1, 1000));
+    } else {
+      comm.wait(comm.irecv(0, 1));
+    }
+  });
+  EXPECT_EQ(c0.messages_sent, 1u);
+  EXPECT_EQ(c0.bytes_sent, 1000u);
+  EXPECT_EQ(c1.messages_received, 1u);
+  EXPECT_EQ(c1.bytes_received, 1000u);
+  EXPECT_GT(c0.comm_time, 0);
+}
+
+}  // namespace
+}  // namespace usw::comm
+
+namespace usw::comm {
+namespace {
+
+TEST(Comm, SenderNicSerializesBurstsOfSends) {
+  // Two back-to-back 1 MB sends from the same rank must arrive roughly one
+  // wire time apart: the NIC injects one message at a time.
+  const hw::CostModel cost(hw::MachineParams::sunway_taihulight());
+  const std::uint64_t bytes = 1024 * 1024;
+  const TimePs wire = seconds_to_ps(static_cast<double>(bytes) /
+                                    cost.params().net_bw_bytes_per_s);
+  Network net(2, cost);
+  sim::run_ranks(2, [&](sim::Coordinator& coord, int rank) {
+    Comm comm(net, coord, rank);
+    if (rank == 0) {
+      comm.isend_bytes(1, 1, bytes);
+      comm.isend_bytes(1, 2, bytes);
+    } else {
+      const RequestId a = comm.irecv(0, 1);
+      const RequestId b = comm.irecv(0, 2);
+      comm.wait(a);
+      const TimePs t_first = comm.now();
+      comm.wait(b);
+      const TimePs t_second = comm.now();
+      // Allow for the receiver's own test/post costs, but the second
+      // message cannot arrive sooner than a full extra wire time minus
+      // small software costs.
+      EXPECT_GE(t_second - t_first, wire - 100 * kMicrosecond);
+    }
+  });
+}
+
+TEST(Comm, DistinctSendersDoNotSerializeOnEachOther) {
+  // The NIC is per rank: messages from two different senders to one
+  // receiver may overlap on the wire.
+  const hw::CostModel cost(hw::MachineParams::sunway_taihulight());
+  const std::uint64_t bytes = 4 * 1024 * 1024;
+  Network net(3, cost);
+  std::vector<TimePs> arrival(3, 0);
+  sim::run_ranks(3, [&](sim::Coordinator& coord, int rank) {
+    Comm comm(net, coord, rank);
+    if (rank != 2) {
+      comm.isend_bytes(2, rank, bytes);
+    } else {
+      const RequestId a = comm.irecv(0, 0);
+      const RequestId b = comm.irecv(1, 1);
+      const RequestId ids[] = {a, b};
+      comm.wait_all(ids);
+      arrival[2] = comm.now();
+    }
+  });
+  // Both messages fit in ~one wire time + overheads, not two.
+  const TimePs wire = seconds_to_ps(static_cast<double>(bytes) /
+                                    cost.params().net_bw_bytes_per_s);
+  EXPECT_LT(arrival[2], wire + wire / 2);
+}
+
+}  // namespace
+}  // namespace usw::comm

@@ -1,0 +1,204 @@
+// Tests for the Sec IX future-work features: CPE groups, double-buffered
+// DMA, and packed tiles. Functional results must be unchanged; timing
+// effects must have the right sign; configuration errors must be caught.
+
+#include <gtest/gtest.h>
+
+#include "apps/burgers/burgers_app.h"
+#include "athread/athread.h"
+#include "runtime/controller.h"
+
+namespace usw {
+namespace {
+
+runtime::RunResult run_future(int groups, bool async_dma, bool packed,
+                              grid::IntVec tile, var::StorageMode storage,
+                              int ranks = 2) {
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({2, 2, 2}, {16, 16, 32});
+  cfg.variant = runtime::variant_by_name("acc_simd.async");
+  cfg.nranks = ranks;
+  cfg.timesteps = 3;
+  cfg.storage = storage;
+  cfg.cpe_groups = groups;
+  cfg.async_dma = async_dma;
+  cfg.packed_tiles = packed;
+  apps::burgers::BurgersApp::Config app_cfg;
+  app_cfg.tile_shape = tile;
+  apps::burgers::BurgersApp app(app_cfg);
+  return runtime::run_simulation(cfg, app);
+}
+
+TEST(FutureWork, GroupsPreserveNumericsExactly) {
+  const auto base =
+      run_future(1, false, false, {16, 16, 8}, var::StorageMode::kFunctional);
+  for (int groups : {2, 4, 8}) {
+    const auto grouped =
+        run_future(groups, false, false, {16, 16, 8}, var::StorageMode::kFunctional);
+    EXPECT_EQ(grouped.ranks[0].metrics.at("linf_error"),
+              base.ranks[0].metrics.at("linf_error"))
+        << groups << " groups";
+  }
+}
+
+TEST(FutureWork, DmaOptionsPreserveNumericsExactly) {
+  const auto base =
+      run_future(1, false, false, {16, 16, 4}, var::StorageMode::kFunctional);
+  const auto dbuf =
+      run_future(1, true, false, {16, 16, 4}, var::StorageMode::kFunctional);
+  const auto packed =
+      run_future(1, false, true, {16, 16, 4}, var::StorageMode::kFunctional);
+  EXPECT_EQ(dbuf.ranks[0].metrics.at("linf_error"),
+            base.ranks[0].metrics.at("linf_error"));
+  EXPECT_EQ(packed.ranks[0].metrics.at("linf_error"),
+            base.ranks[0].metrics.at("linf_error"));
+}
+
+TEST(FutureWork, PackedTilesAreNeverSlower) {
+  const auto base =
+      run_future(1, false, false, {16, 16, 8}, var::StorageMode::kTimingOnly);
+  const auto packed =
+      run_future(1, false, true, {16, 16, 8}, var::StorageMode::kTimingOnly);
+  EXPECT_LE(packed.mean_step_wall(), base.mean_step_wall());
+}
+
+TEST(FutureWork, AsyncDmaHidesTransferTime) {
+  // Needs several tiles per CPE for the pipeline to have steady state
+  // (with one tile per CPE, prologue + epilogue equal the synchronous
+  // cost). 16x16x512 patches with 16x16x4 tiles give 2 tiles per CPE.
+  auto run_z512 = [](bool async_dma) {
+    runtime::RunConfig cfg;
+    cfg.problem = runtime::tiny_problem({2, 1, 1}, {16, 16, 512});
+    cfg.variant = runtime::variant_by_name("acc_simd.async");
+    cfg.nranks = 1;
+    cfg.timesteps = 2;
+    cfg.storage = var::StorageMode::kTimingOnly;
+    cfg.async_dma = async_dma;
+    apps::burgers::BurgersApp::Config app_cfg;
+    app_cfg.tile_shape = {16, 16, 4};
+    apps::burgers::BurgersApp app(app_cfg);
+    return runtime::run_simulation(cfg, app).mean_step_wall();
+  };
+  EXPECT_LT(run_z512(true), run_z512(false));
+}
+
+TEST(FutureWork, AsyncDmaDoubleBuffersNeedLdmRoom) {
+  // The 16x16x8 tile fits the LDM once (41 KiB) but not twice: enabling
+  // double buffering with it must overflow, exactly like the hardware.
+  EXPECT_THROW(
+      run_future(1, true, false, {16, 16, 8}, var::StorageMode::kTimingOnly),
+      ResourceError);
+}
+
+TEST(FutureWork, InvalidGroupCountRejected) {
+  EXPECT_THROW(
+      run_future(3, false, false, {16, 16, 8}, var::StorageMode::kTimingOnly),
+      ConfigError);
+  EXPECT_THROW(
+      run_future(0, false, false, {16, 16, 8}, var::StorageMode::kTimingOnly),
+      ConfigError);
+}
+
+TEST(FutureWork, GroupsRunKernelsConcurrently) {
+  // Direct cluster-level check: two groups can be in flight at once and
+  // complete independently.
+  const hw::CostModel cost(hw::MachineParams::sunway_taihulight());
+  sim::run_ranks(1, [&](sim::Coordinator& coord, int rank) {
+    athread::CpeCluster cluster(cost, coord, rank, nullptr, 2);
+    EXPECT_EQ(cluster.group_size(), 32);
+    cluster.spawn([](athread::CpeContext& ctx) { ctx.charge(10 * kMicrosecond); }, 0);
+    cluster.spawn([](athread::CpeContext& ctx) { ctx.charge(30 * kMicrosecond); }, 1);
+    EXPECT_TRUE(cluster.in_flight(0));
+    EXPECT_TRUE(cluster.in_flight(1));
+    EXPECT_EQ(cluster.earliest_completion(), cluster.completion_time(0));
+    cluster.join(0);
+    EXPECT_FALSE(cluster.in_flight(0));
+    EXPECT_TRUE(cluster.in_flight(1));
+    cluster.join(1);
+    EXPECT_FALSE(cluster.any_in_flight());
+  });
+}
+
+TEST(FutureWork, GroupJobsSeeGroupSizedCpeCount) {
+  const hw::CostModel cost(hw::MachineParams::sunway_taihulight());
+  sim::run_ranks(1, [&](sim::Coordinator& coord, int rank) {
+    athread::CpeCluster cluster(cost, coord, rank, nullptr, 4);
+    int calls = 0;
+    int max_id = -1;
+    cluster.spawn(
+        [&](athread::CpeContext& ctx) {
+          ++calls;
+          max_id = std::max(max_id, ctx.cpe_id());
+          EXPECT_EQ(ctx.n_cpes(), 16);
+        },
+        2);
+    EXPECT_EQ(calls, 16);
+    EXPECT_EQ(max_id, 15);
+    cluster.join(2);
+  });
+}
+
+TEST(FutureWork, SyncModeIgnoresExtraGroups) {
+  // Synchronous variants use group 0 only; extra groups must be harmless.
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({2, 2, 1}, {8, 8, 16});
+  cfg.variant = runtime::variant_by_name("acc.sync");
+  cfg.nranks = 1;
+  cfg.timesteps = 2;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  apps::burgers::BurgersApp app;
+  const auto one_group = runtime::run_simulation(cfg, app);
+  cfg.cpe_groups = 4;
+  const auto four_groups = runtime::run_simulation(cfg, app);
+  // Kernels run on a quarter of the CPEs, so sync mode gets slower — but
+  // completes correctly.
+  EXPECT_GE(four_groups.mean_step_wall(), one_group.mean_step_wall());
+}
+
+}  // namespace
+}  // namespace usw
+
+namespace usw {
+namespace {
+
+TEST(FutureWork, GroupsOverlapKernelWindowsInTrace) {
+  // With 4 CPE groups and many ready patches, the trace must show kernel
+  // flight windows that overlap in virtual time — real task+data
+  // parallelism on one CG.
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({4, 2, 1}, {16, 16, 32});
+  cfg.variant = runtime::variant_by_name("acc.async");
+  cfg.nranks = 1;
+  cfg.timesteps = 1;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  cfg.cpe_groups = 4;
+  cfg.collect_trace = true;
+  apps::burgers::BurgersApp app;
+  const auto result = runtime::run_simulation(cfg, app);
+  const auto& trace = result.ranks[0].trace;
+  const auto begins = trace.filter(sim::EventKind::kKernelBegin);
+  const auto ends = trace.filter(sim::EventKind::kKernelEnd);
+  ASSERT_EQ(begins.size(), 8u);  // 8 patches, one kernel each
+  int overlaps = 0;
+  for (std::size_t a = 0; a < begins.size(); ++a)
+    for (std::size_t b = 0; b < begins.size(); ++b)
+      if (a != b && begins[a].time < ends[b].time && begins[b].time < ends[a].time)
+        ++overlaps;
+  EXPECT_GT(overlaps, 0);
+
+  // The single-group run must show no overlapping windows.
+  cfg.cpe_groups = 1;
+  const auto serial = runtime::run_simulation(cfg, app);
+  const auto sb = serial.ranks[0].trace.filter(sim::EventKind::kKernelBegin);
+  const auto se = serial.ranks[0].trace.filter(sim::EventKind::kKernelEnd);
+  for (std::size_t a = 0; a < sb.size(); ++a) {
+    for (std::size_t b = 0; b < sb.size(); ++b) {
+      if (a != b) {
+        EXPECT_FALSE(sb[a].time < se[b].time && sb[b].time < se[a].time);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace usw

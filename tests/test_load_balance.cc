@@ -1,0 +1,188 @@
+// Tests for cost-aware partitioning, per-patch kernel cost scaling, and
+// the small-kernel MPE threshold heuristic.
+
+#include <gtest/gtest.h>
+
+#include "apps/advect/advect_app.h"
+#include "apps/burgers/burgers_app.h"
+#include "grid/partition.h"
+#include "runtime/controller.h"
+
+namespace usw {
+namespace {
+
+TEST(CostBalancedPartition, UniformCostsGiveEvenChunks) {
+  const grid::Level level({8, 8, 2}, {4, 4, 4});
+  const std::vector<double> costs(128, 1.0);
+  const grid::Partition part(level, 8, grid::PartitionPolicy::kCostBalanced, costs);
+  for (int r = 0; r < 8; ++r)
+    EXPECT_EQ(part.patches_of(r).size(), 16u);
+  EXPECT_DOUBLE_EQ(part.imbalance(costs), 1.0);
+}
+
+TEST(CostBalancedPartition, ChunksAreContiguousInIdOrder) {
+  const grid::Level level({4, 4, 2}, {4, 4, 4});
+  std::vector<double> costs(32, 1.0);
+  costs[3] = 10.0;
+  costs[17] = 6.0;
+  const grid::Partition part(level, 5, grid::PartitionPolicy::kCostBalanced, costs);
+  for (int r = 0; r < 5; ++r) {
+    const auto& ids = part.patches_of(r);
+    ASSERT_FALSE(ids.empty());
+    for (std::size_t i = 1; i < ids.size(); ++i)
+      EXPECT_EQ(ids[i], ids[i - 1] + 1);
+  }
+}
+
+TEST(CostBalancedPartition, BeatsBlockOnSkewedCosts) {
+  const grid::Level level({8, 8, 2}, {4, 4, 4});
+  std::vector<double> costs(128, 1.0);
+  // A hot corner: the first 8 patches cost 20x.
+  for (int i = 0; i < 8; ++i) costs[static_cast<std::size_t>(i)] = 20.0;
+  const grid::Partition block(level, 8, grid::PartitionPolicy::kBlock, costs);
+  const grid::Partition cb(level, 8, grid::PartitionPolicy::kCostBalanced, costs);
+  EXPECT_LT(cb.imbalance(costs), block.imbalance(costs));
+  EXPECT_LT(cb.imbalance(costs), 1.3);
+}
+
+TEST(CostBalancedPartition, EveryRankGetsAtLeastOnePatch) {
+  const grid::Level level({4, 1, 1}, {4, 4, 4});
+  // One patch massively dominates; the cutter must still give the other
+  // ranks a patch each.
+  const std::vector<double> costs = {1000.0, 1.0, 1.0, 1.0};
+  const grid::Partition part(level, 4, grid::PartitionPolicy::kCostBalanced, costs);
+  for (int r = 0; r < 4; ++r)
+    EXPECT_EQ(part.patches_of(r).size(), 1u);
+}
+
+TEST(CostBalancedPartition, RejectsBadCosts) {
+  const grid::Level level({4, 1, 1}, {4, 4, 4});
+  EXPECT_THROW(grid::Partition(level, 2, grid::PartitionPolicy::kCostBalanced,
+                               std::vector<double>{1.0, 1.0}),
+               ConfigError);
+  EXPECT_THROW(grid::Partition(level, 2, grid::PartitionPolicy::kCostBalanced,
+                               std::vector<double>{1.0, -1.0, 1.0, 1.0}),
+               ConfigError);
+}
+
+TEST(CostScale, HeavyPatchesCostMoreVirtualTime) {
+  auto run = [](double heavy_factor) {
+    apps::advect::AdvectApp::Config ac;
+    ac.heavy_factor = heavy_factor;
+    ac.tile_shape = {8, 8, 8};
+    apps::advect::AdvectApp app(ac);
+    runtime::RunConfig cfg;
+    cfg.problem = runtime::tiny_problem({2, 2, 2}, {16, 16, 16});
+    cfg.variant = runtime::variant_by_name("acc.sync");
+    cfg.nranks = 1;
+    cfg.timesteps = 2;
+    cfg.storage = var::StorageMode::kTimingOnly;
+    return runtime::run_simulation(cfg, app);
+  };
+  const auto uniform = run(1.0);
+  const auto heavy = run(16.0);
+  EXPECT_GT(heavy.mean_step_wall(), uniform.mean_step_wall());
+  // Counted flops also scale (the extra work is real work).
+  EXPECT_GT(heavy.total_counted_flops(), uniform.total_counted_flops());
+}
+
+TEST(CostScale, DoesNotChangeNumerics) {
+  auto run = [](double heavy_factor) {
+    apps::advect::AdvectApp::Config ac;
+    ac.heavy_factor = heavy_factor;
+    ac.tile_shape = {8, 8, 8};
+    apps::advect::AdvectApp app(ac);
+    runtime::RunConfig cfg;
+    cfg.problem = runtime::tiny_problem({2, 2, 2}, {12, 12, 12});
+    cfg.variant = runtime::variant_by_name("acc.async");
+    cfg.nranks = 4;
+    cfg.timesteps = 5;
+    cfg.storage = var::StorageMode::kFunctional;
+    return runtime::run_simulation(cfg, app).ranks[0].metrics.at("linf_error");
+  };
+  EXPECT_EQ(run(1.0), run(16.0));
+}
+
+TEST(CostBalancedPartition, FullSimulationRunsAndMatchesNumerics) {
+  apps::advect::AdvectApp::Config ac;
+  ac.heavy_factor = 8.0;
+  ac.tile_shape = {8, 8, 8};
+  apps::advect::AdvectApp app(ac);
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({4, 2, 1}, {12, 12, 12});
+  cfg.variant = runtime::variant_by_name("acc.async");
+  cfg.nranks = 4;
+  cfg.timesteps = 4;
+  cfg.storage = var::StorageMode::kFunctional;
+  cfg.partition = grid::PartitionPolicy::kBlock;
+  const double block = runtime::run_simulation(cfg, app).ranks[0].metrics.at("linf_error");
+  cfg.partition = grid::PartitionPolicy::kCostBalanced;
+  const double cb = runtime::run_simulation(cfg, app).ranks[0].metrics.at("linf_error");
+  EXPECT_EQ(block, cb);
+}
+
+TEST(MpeKernelThreshold, SmallKernelsRunOnMpe) {
+  apps::burgers::BurgersApp app;
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({2, 2, 1}, {8, 8, 8});  // 512 cells/patch
+  cfg.variant = runtime::variant_by_name("acc.async");
+  cfg.nranks = 2;
+  cfg.timesteps = 2;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  cfg.mpe_kernel_threshold_cells = 1000;  // everything is "small"
+  const auto result = runtime::run_simulation(cfg, app);
+  const auto sum = result.merged_counters();
+  EXPECT_EQ(sum.kernels_offloaded, 0u);
+  EXPECT_EQ(sum.kernels_on_mpe, 4u * 2u);  // 4 patches x 2 steps
+}
+
+TEST(MpeKernelThreshold, LargeKernelsStillOffload) {
+  apps::burgers::BurgersApp app;
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({2, 2, 1}, {8, 8, 8});
+  cfg.variant = runtime::variant_by_name("acc.async");
+  cfg.nranks = 2;
+  cfg.timesteps = 2;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  cfg.mpe_kernel_threshold_cells = 100;  // 512-cell patches exceed it
+  const auto result = runtime::run_simulation(cfg, app);
+  EXPECT_EQ(result.merged_counters().kernels_on_mpe, 0u);
+  EXPECT_EQ(result.merged_counters().kernels_offloaded, 4u * 2u);
+}
+
+TEST(MpeKernelThreshold, PreservesNumerics) {
+  apps::burgers::BurgersApp app;
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({2, 2, 2}, {8, 8, 16});
+  cfg.variant = runtime::variant_by_name("acc_simd.async");
+  cfg.nranks = 4;
+  cfg.timesteps = 3;
+  cfg.storage = var::StorageMode::kFunctional;
+  const double offloaded = runtime::run_simulation(cfg, app).ranks[0].metrics.at("linf_error");
+  cfg.mpe_kernel_threshold_cells = 1u << 20;
+  const double on_mpe = runtime::run_simulation(cfg, app).ranks[0].metrics.at("linf_error");
+  // The MPE path runs the scalar kernel; results must still be identical
+  // because scalar and SIMD kernels agree bitwise.
+  EXPECT_EQ(offloaded, on_mpe);
+}
+
+TEST(MpeKernelThreshold, HelpsTinyPatches) {
+  // For 8^3 patches the offload launch + tile staging exceeds the CPE win
+  // (only 1 z-slab of tiles is occupied); the heuristic should pay off.
+  apps::burgers::BurgersApp::Config ac;
+  ac.tile_shape = {8, 8, 8};
+  apps::burgers::BurgersApp app(ac);
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({4, 4, 2}, {8, 8, 8});
+  cfg.variant = runtime::variant_by_name("acc.async");
+  cfg.nranks = 2;
+  cfg.timesteps = 3;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  const auto offload_all = runtime::run_simulation(cfg, app);
+  cfg.mpe_kernel_threshold_cells = 1000;
+  const auto mpe_small = runtime::run_simulation(cfg, app);
+  EXPECT_LT(mpe_small.mean_step_wall(), offload_all.mean_step_wall());
+}
+
+}  // namespace
+}  // namespace usw

@@ -1,0 +1,128 @@
+// Property tests of the performance model at the whole-simulation level:
+// simulated results must respond to machine parameters with the right
+// sign. These guard the model against calibration edits that would break
+// its physics (e.g. making a faster network slow things down).
+
+#include <gtest/gtest.h>
+
+#include "apps/burgers/burgers_app.h"
+#include "runtime/controller.h"
+
+namespace usw {
+namespace {
+
+TimePs run_with(const hw::MachineParams& machine, int ranks = 8,
+                const std::string& variant = "acc.async") {
+  apps::burgers::BurgersApp app;
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::problem_by_name("16x32x512");
+  cfg.variant = runtime::variant_by_name(variant);
+  cfg.nranks = ranks;
+  cfg.timesteps = 3;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  cfg.machine = machine;
+  return runtime::run_simulation(cfg, app).mean_step_wall();
+}
+
+hw::MachineParams base() { return hw::MachineParams::sunway_taihulight(); }
+
+TEST(ModelProperties, FasterCpesMakeStepsFaster) {
+  hw::MachineParams fast = base();
+  fast.cpe_freq_hz *= 2.0;
+  EXPECT_LT(run_with(fast), run_with(base()));
+}
+
+TEST(ModelProperties, CheaperExponentialsMakeStepsFaster) {
+  hw::MachineParams fast = base();
+  fast.cpe_exp_cycles_scalar /= 4.0;
+  fast.cpe_exp_cycles_simd /= 4.0;
+  EXPECT_LT(run_with(fast), run_with(base()));
+}
+
+TEST(ModelProperties, FasterNetworkNeverHurts) {
+  hw::MachineParams fast = base();
+  fast.net_bw_bytes_per_s *= 8.0;
+  fast.net_latency /= 4;
+  fast.mpi_sw_latency /= 4;
+  EXPECT_LE(run_with(fast, 32), run_with(base(), 32));
+}
+
+TEST(ModelProperties, SlowerMpiSoftwareHurtsAtScale) {
+  hw::MachineParams slow = base();
+  slow.mpi_post_overhead *= 10;
+  slow.mpi_sw_latency *= 10;
+  EXPECT_GT(run_with(slow, 32), run_with(base(), 32));
+}
+
+TEST(ModelProperties, HigherTaskOverheadHurtsSyncMoreThanAsync) {
+  hw::MachineParams heavy = base();
+  heavy.mpe_task_overhead *= 8;
+  const TimePs sync_base = run_with(base(), 8, "acc.sync");
+  const TimePs sync_heavy = run_with(heavy, 8, "acc.sync");
+  const TimePs async_base = run_with(base(), 8, "acc.async");
+  const TimePs async_heavy = run_with(heavy, 8, "acc.async");
+  // Sync pays the full increase; async hides part of it under kernels.
+  EXPECT_GT(sync_heavy - sync_base, async_heavy - async_base);
+}
+
+TEST(ModelProperties, MoreCpesSpeedUpKernelsGivenEnoughSlabs) {
+  // A hypothetical 128-CPE core-group beats the 64-CPE one — but only if
+  // the tiling provides at least 128 z-slabs for the static z-partition to
+  // fill (with the default 16x16x8 tile on z=512 patches there are exactly
+  // 64 slabs, so the extra CPEs would idle and merely add DMA contention).
+  apps::burgers::BurgersApp::Config ac;
+  ac.tile_shape = {16, 16, 4};  // 128 z-slabs on z=512 patches
+  apps::burgers::BurgersApp app(ac);
+  auto run = [&app](const hw::MachineParams& machine) {
+    runtime::RunConfig cfg;
+    cfg.problem = runtime::problem_by_name("16x32x512");
+    cfg.variant = runtime::variant_by_name("acc.async");
+    cfg.nranks = 8;
+    cfg.timesteps = 3;
+    cfg.storage = var::StorageMode::kTimingOnly;
+    cfg.machine = machine;
+    return runtime::run_simulation(cfg, app).mean_step_wall();
+  };
+  hw::MachineParams big = base();
+  big.cpes_per_cg = 128;
+  EXPECT_LT(run(big), run(base()));
+}
+
+TEST(ModelProperties, ZeroLatencyNetworkIsValid) {
+  hw::MachineParams ideal = base();
+  ideal.net_latency = 0;
+  ideal.mpi_sw_latency = 0;
+  EXPECT_GT(run_with(ideal, 16), 0);
+}
+
+TEST(ModelProperties, DmaEfficiencyMattersOnlyMildlyForThisKernel) {
+  // The Burgers kernel is compute-bound (~1% of peak): halving DMA
+  // efficiency must cost well under 20% of the step.
+  hw::MachineParams slow = base();
+  slow.dma_strided_efficiency /= 2.0;
+  const double ratio = static_cast<double>(run_with(slow)) /
+                       static_cast<double>(run_with(base()));
+  EXPECT_GT(ratio, 1.0 - 1e-9);
+  EXPECT_LT(ratio, 1.2);
+}
+
+TEST(ModelProperties, StepWallScalesWithProblemSizePerRank) {
+  // Quadrupling the per-patch cells (at the same rank count) must grow the
+  // step wall by more than 2x (kernel dominates) but at most ~4x-ish.
+  apps::burgers::BurgersApp app;
+  runtime::RunConfig cfg;
+  cfg.variant = runtime::variant_by_name("acc.async");
+  cfg.nranks = 8;
+  cfg.timesteps = 3;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  cfg.problem = runtime::problem_by_name("16x32x512");
+  const TimePs small = runtime::run_simulation(cfg, app).mean_step_wall();
+  cfg.problem = runtime::problem_by_name("32x64x512");
+  const TimePs big = runtime::run_simulation(cfg, app).mean_step_wall();
+  const double ratio = static_cast<double>(big) / static_cast<double>(small);
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 5.0);
+}
+
+}  // namespace
+}  // namespace usw

@@ -1,0 +1,166 @@
+// Scheduler behavior tests: all three modes produce identical numerics,
+// the async mode genuinely overlaps communication and MPE work with CPE
+// kernels (verified from traces), and timing invariants hold.
+
+#include <gtest/gtest.h>
+
+#include "apps/burgers/burgers_app.h"
+#include "runtime/controller.h"
+#include "sched/scheduler.h"
+
+namespace usw::sched {
+namespace {
+
+runtime::RunConfig tiny_config(const std::string& variant, int ranks,
+                               var::StorageMode storage) {
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({2, 2, 2}, {8, 8, 16});
+  cfg.variant = runtime::variant_by_name(variant);
+  cfg.nranks = ranks;
+  cfg.timesteps = 4;
+  cfg.storage = storage;
+  return cfg;
+}
+
+runtime::RunResult run(const std::string& variant, int ranks,
+                       var::StorageMode storage = var::StorageMode::kFunctional,
+                       bool trace = false) {
+  runtime::RunConfig cfg = tiny_config(variant, ranks, storage);
+  cfg.collect_trace = trace;
+  apps::burgers::BurgersApp app;
+  return runtime::run_simulation(cfg, app);
+}
+
+TEST(Scheduler, AllVariantsProduceIdenticalNumerics) {
+  const auto reference = run("host.sync", 2);
+  const double ref_linf = reference.ranks[0].metrics.at("linf_error");
+  const double ref_umax = reference.ranks[0].metrics.at("u_max");
+  for (const std::string v :
+       {"acc.sync", "acc_simd.sync", "acc.async", "acc_simd.async"}) {
+    const auto result = run(v, 2);
+    // Scalar and SIMD kernels perform identical IEEE operations; the
+    // schedulers only reorder independent work, so the solution must be
+    // bit-for-bit identical in every mode.
+    EXPECT_EQ(result.ranks[0].metrics.at("linf_error"), ref_linf) << v;
+    EXPECT_EQ(result.ranks[0].metrics.at("u_max"), ref_umax) << v;
+  }
+}
+
+TEST(Scheduler, AsyncNeverSlowerThanSync) {
+  for (int ranks : {1, 2, 4}) {
+    const auto sync_r = run("acc.sync", ranks, var::StorageMode::kTimingOnly);
+    const auto async_r = run("acc.async", ranks, var::StorageMode::kTimingOnly);
+    EXPECT_LE(async_r.mean_step_wall(), sync_r.mean_step_wall())
+        << ranks << " ranks";
+  }
+}
+
+TEST(Scheduler, OffloadCountsMatchGraph) {
+  const auto result = run("acc.async", 2);
+  const hw::PerfCounters sum = result.merged_counters();
+  // 8 patches x (1 init on MPE is not offloaded) and 8 x 4 steps of the
+  // advance stencil on the CPEs.
+  EXPECT_EQ(sum.kernels_offloaded, 8u * 4u);
+  EXPECT_EQ(sum.kernels_on_mpe, 0u);
+  const auto host = run("host.sync", 2);
+  EXPECT_EQ(host.merged_counters().kernels_offloaded, 0u);
+  EXPECT_EQ(host.merged_counters().kernels_on_mpe, 8u * 4u);
+}
+
+TEST(Scheduler, TimingOnlyMatchesFunctionalTiming) {
+  // The virtual-time result must not depend on whether field data is
+  // materialized: benchmarks rely on this.
+  for (const std::string v : {"acc.sync", "acc_simd.async"}) {
+    const auto functional = run(v, 2, var::StorageMode::kFunctional);
+    const auto timing = run(v, 2, var::StorageMode::kTimingOnly);
+    ASSERT_EQ(functional.timesteps, timing.timesteps);
+    for (int s = 0; s < functional.timesteps; ++s)
+      EXPECT_EQ(functional.step_wall(s), timing.step_wall(s)) << v << " step " << s;
+  }
+}
+
+TEST(Scheduler, DeterministicAcrossRepeats) {
+  const auto a = run("acc_simd.async", 4, var::StorageMode::kTimingOnly);
+  const auto b = run("acc_simd.async", 4, var::StorageMode::kTimingOnly);
+  for (int s = 0; s < a.timesteps; ++s)
+    EXPECT_EQ(a.step_wall(s), b.step_wall(s));
+  for (int r = 0; r < a.nranks; ++r)
+    EXPECT_EQ(a.ranks[static_cast<std::size_t>(r)].counters.counted_flops,
+              b.ranks[static_cast<std::size_t>(r)].counters.counted_flops);
+}
+
+TEST(Scheduler, AsyncOverlapsMpeWorkWithKernels) {
+  // Trace evidence for the paper's central claim: in async mode, MPE-side
+  // events (sends, receives, MPE task begins) occur strictly inside CPE
+  // kernel flight windows.
+  const auto result = run("acc.async", 2, var::StorageMode::kFunctional, true);
+  int overlapped_events = 0;
+  for (const auto& rank : result.ranks) {
+    const auto begins = rank.trace.filter(sim::EventKind::kKernelBegin);
+    const auto ends = rank.trace.filter(sim::EventKind::kKernelEnd);
+    ASSERT_EQ(begins.size(), ends.size());
+    for (const auto& e : rank.trace.events()) {
+      if (e.kind != sim::EventKind::kSendPosted &&
+          e.kind != sim::EventKind::kRecvDone &&
+          e.kind != sim::EventKind::kTaskBegin)
+        continue;
+      for (std::size_t w = 0; w < begins.size(); ++w)
+        if (e.time > begins[w].time && e.time < ends[w].time) {
+          ++overlapped_events;
+          break;
+        }
+    }
+  }
+  EXPECT_GT(overlapped_events, 10);
+}
+
+TEST(Scheduler, SyncModeDoesNotOverlap) {
+  // In sync mode the MPE spins during kernel flight: no MPE event may fall
+  // strictly inside a kernel window.
+  const auto result = run("acc.sync", 2, var::StorageMode::kFunctional, true);
+  for (const auto& rank : result.ranks) {
+    const auto begins = rank.trace.filter(sim::EventKind::kKernelBegin);
+    const auto ends = rank.trace.filter(sim::EventKind::kKernelEnd);
+    for (const auto& e : rank.trace.events()) {
+      if (e.kind == sim::EventKind::kKernelBegin ||
+          e.kind == sim::EventKind::kKernelEnd)
+        continue;
+      for (std::size_t w = 0; w < begins.size(); ++w)
+        EXPECT_FALSE(e.time > begins[w].time && e.time < ends[w].time)
+            << sim::to_string(e.kind) << " inside kernel window";
+    }
+  }
+}
+
+TEST(Scheduler, ReductionValueIsGlobalAcrossRanks) {
+  const auto one = run("acc.async", 1);
+  const auto four = run("acc.async", 4);
+  // max|u| is a global property of the solution: identical for any rank
+  // count (and the solution itself is identical, tested elsewhere).
+  EXPECT_EQ(one.ranks[0].metrics.at("u_max"), four.ranks[0].metrics.at("u_max"));
+  // Every rank reports the same allreduced value.
+  for (const auto& r : four.ranks)
+    EXPECT_EQ(r.metrics.at("u_max"), four.ranks[0].metrics.at("u_max"));
+}
+
+TEST(Scheduler, ModeNames) {
+  EXPECT_STREQ(to_string(SchedulerMode::kMpeOnly), "mpe-only");
+  EXPECT_STREQ(to_string(SchedulerMode::kSyncMpeCpe), "sync-mpe+cpe");
+  EXPECT_STREQ(to_string(SchedulerMode::kAsyncMpeCpe), "async-mpe+cpe");
+}
+
+TEST(Scheduler, WallTimesArePositiveAndStable) {
+  const auto result = run("acc_simd.async", 2, var::StorageMode::kTimingOnly);
+  for (int s = 0; s < result.timesteps; ++s) EXPECT_GT(result.step_wall(s), 0);
+  // The workload is identical every step; after the first step (pipeline
+  // warm-up: step 0 starts from the synchronized init, later steps from
+  // the skewed end of the previous step) the walls repeat exactly.
+  for (int s = 2; s < result.timesteps; ++s)
+    EXPECT_EQ(result.step_wall(s), result.step_wall(1));
+  EXPECT_NEAR(static_cast<double>(result.step_wall(0)),
+              static_cast<double>(result.step_wall(1)),
+              0.05 * static_cast<double>(result.step_wall(1)));
+}
+
+}  // namespace
+}  // namespace usw::sched

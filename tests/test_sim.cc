@@ -1,0 +1,176 @@
+// Tests for the deterministic discrete-event core: min-clock ordering,
+// wait/notify semantics, deadlock detection, cancellation, and traces.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "sim/coordinator.h"
+#include "sim/trace.h"
+
+namespace usw::sim {
+namespace {
+
+TEST(Coordinator, SingleRankAdvances) {
+  run_ranks(1, [](Coordinator& c, int r) {
+    EXPECT_EQ(c.now(r), 0);
+    c.advance(r, 100);
+    EXPECT_EQ(c.now(r), 100);
+    c.gate(r);  // trivially min
+    EXPECT_EQ(c.now(r), 100);
+  });
+}
+
+TEST(Coordinator, GateOrdersByClock) {
+  // Each rank advances by a rank-specific amount, then gates; the order in
+  // which gates complete must follow virtual clocks, not host scheduling.
+  std::mutex mu;
+  std::vector<int> order;
+  run_ranks(4, [&](Coordinator& c, int r) {
+    c.advance(r, (r + 1) * 10);
+    c.gate(r);
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(r);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Coordinator, TieBrokenByRankId) {
+  std::mutex mu;
+  std::vector<int> order;
+  run_ranks(3, [&](Coordinator& c, int r) {
+    c.advance(r, 50);  // same clock for everyone
+    c.gate(r);
+    std::lock_guard<std::mutex> lock(mu);
+    order.push_back(r);
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Coordinator, WaitUntilAdvancesClock) {
+  run_ranks(1, [](Coordinator& c, int r) {
+    c.wait_until(r, 5000);
+    EXPECT_EQ(c.now(r), 5000);
+    // Waiting for a past time is a no-op.
+    c.wait_until(r, 10);
+    EXPECT_EQ(c.now(r), 5000);
+  });
+}
+
+TEST(Coordinator, NotifyWakesWaiter) {
+  // Rank 0 waits with no locally-known wake; rank 1 notifies it at t=300.
+  run_ranks(2, [](Coordinator& c, int r) {
+    if (r == 0) {
+      c.wait_until(r, kNever);
+      EXPECT_EQ(c.now(r), 300);
+    } else {
+      c.advance(r, 200);
+      c.gate(r);
+      c.notify(0, 300);
+      c.advance(r, 500);
+      c.gate(r);
+    }
+  });
+}
+
+TEST(Coordinator, NotifyNeverMovesClockBackwards) {
+  run_ranks(2, [](Coordinator& c, int r) {
+    if (r == 0) {
+      c.advance(r, 1000);
+      c.wait_until(r, kNever);
+      // The notification stamp (100) is older than our clock: we wake "now".
+      EXPECT_EQ(c.now(r), 1000);
+    } else {
+      c.advance(r, 400);
+      c.gate(r);
+      c.notify(0, 100);
+    }
+  });
+}
+
+TEST(Coordinator, EarlierNotifyLowersWake) {
+  run_ranks(2, [](Coordinator& c, int r) {
+    if (r == 0) {
+      c.wait_until(r, 10000);  // known wake far in the future
+      EXPECT_EQ(c.now(r), 250);  // external event arrived first
+    } else {
+      c.advance(r, 250);
+      c.gate(r);
+      c.notify(0, 250);
+      c.advance(r, 1);
+      c.gate(r);
+    }
+  });
+}
+
+TEST(Coordinator, DeadlockDetected) {
+  EXPECT_THROW(run_ranks(2,
+                         [](Coordinator& c, int r) {
+                           (void)r;
+                           c.wait_until(r, kNever);  // nobody will notify
+                         }),
+               StateError);
+}
+
+TEST(Coordinator, ExceptionPropagatesAndCancelsOthers) {
+  EXPECT_THROW(run_ranks(2,
+                         [](Coordinator& c, int r) {
+                           if (r == 0) throw ConfigError("boom");
+                           c.wait_until(r, kNever);  // must be cancelled
+                         }),
+               ConfigError);
+}
+
+TEST(Coordinator, ManyRanksDeterministicTimeline) {
+  // A little virtual-time dance; final clocks must be identical on repeats.
+  auto run_once = [] {
+    std::vector<TimePs> finals(8);
+    run_ranks(8, [&](Coordinator& c, int r) {
+      for (int i = 0; i < 50; ++i) {
+        c.advance(r, (r * 7 + i * 3) % 11 + 1);
+        c.gate(r);
+        if (r > 0) c.notify(r - 1, c.now(r) + 5);
+      }
+      finals[static_cast<std::size_t>(r)] = c.now(r);
+    });
+    return finals;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Coordinator, InvalidConstruction) {
+  EXPECT_DEATH(Coordinator(0), "at least one rank");
+}
+
+TEST(Trace, RecordsOnlyWhenEnabled) {
+  Trace t;
+  t.record(10, EventKind::kTaskBegin, "a");
+  EXPECT_TRUE(t.events().empty());
+  t.enable(true);
+  t.record(10, EventKind::kTaskBegin, "a");
+  t.record(30, EventKind::kTaskEnd, "a");
+  EXPECT_EQ(t.events().size(), 2u);
+}
+
+TEST(Trace, FilterAndTotals) {
+  Trace t;
+  t.enable(true);
+  t.record(10, EventKind::kKernelBegin, "k1");
+  t.record(40, EventKind::kKernelEnd, "k1");
+  t.record(50, EventKind::kKernelBegin, "k2");
+  t.record(90, EventKind::kKernelEnd, "k2");
+  t.record(95, EventKind::kSendPosted, "s");
+  EXPECT_EQ(t.filter(EventKind::kKernelBegin).size(), 2u);
+  EXPECT_EQ(t.total_between(EventKind::kKernelBegin, EventKind::kKernelEnd), 70);
+  EXPECT_NE(t.dump().find("kernel_begin"), std::string::npos);
+}
+
+TEST(Trace, EventKindNames) {
+  EXPECT_STREQ(to_string(EventKind::kOffloadBegin), "offload_begin");
+  EXPECT_STREQ(to_string(EventKind::kReduceEnd), "reduce_end");
+}
+
+}  // namespace
+}  // namespace usw::sim

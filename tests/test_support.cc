@@ -1,0 +1,194 @@
+// Unit tests for the support library: statistics, percentiles, tables,
+// option parsing, units, and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/options.h"
+#include "support/rng.h"
+#include "support/stats.h"
+#include "support/table.h"
+#include "support/units.h"
+
+namespace usw {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  SplitMix64 rng(7);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_in(-5.0, 9.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+  EXPECT_EQ(s.count(), xs.size());
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  SplitMix64 rng(11);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_in(0.0, 1.0);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, KnownValues) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+}
+
+TEST(TextTable, AlignsAndCounts) {
+  TextTable t("demo");
+  t.set_header({"a", "long-column"});
+  t.add_row({"x", "1"});
+  t.add_row({"yy", "2"});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("long-column"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, Formatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.317), "31.7%");
+}
+
+TEST(Options, ParsesAllForms) {
+  const char* argv[] = {"prog", "--a=1", "--b=2", "--flag", "pos1"};
+  Options o(5, argv);
+  EXPECT_EQ(o.get_int("a", 0), 1);
+  EXPECT_EQ(o.get_int("b", 0), 2);
+  EXPECT_TRUE(o.get_bool("flag", false));
+  ASSERT_EQ(o.positional().size(), 1u);
+  EXPECT_EQ(o.positional()[0], "pos1");
+}
+
+TEST(Options, Defaults) {
+  const char* argv[] = {"prog"};
+  Options o(1, argv);
+  EXPECT_EQ(o.get("missing", "d"), "d");
+  EXPECT_EQ(o.get_int("missing", 5), 5);
+  EXPECT_DOUBLE_EQ(o.get_double("missing", 2.5), 2.5);
+  EXPECT_FALSE(o.has("missing"));
+}
+
+TEST(Options, BadValuesThrow) {
+  const char* argv[] = {"prog", "--n=abc", "--b=maybe"};
+  Options o(3, argv);
+  EXPECT_THROW(o.get_int("n", 0), ConfigError);
+  EXPECT_THROW(o.get_bool("b", false), ConfigError);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(seconds_to_ps(1.0), kSecond);
+  EXPECT_EQ(seconds_to_ps(1e-6), kMicrosecond);
+  EXPECT_DOUBLE_EQ(ps_to_seconds(kMillisecond), 1e-3);
+  EXPECT_EQ(seconds_to_ps(0.0), 0);
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(500), "500 ps");
+  EXPECT_EQ(format_duration(1500), "1.500 ns");
+  EXPECT_EQ(format_duration(2 * kMillisecond), "2.000 ms");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(64_KiB), "64.0 KiB");
+  EXPECT_EQ(format_bytes(3_GiB), "3.0 GiB");
+}
+
+TEST(Rng, DeterministicAndDistinct) {
+  SplitMix64 a(1), b(1), c(2);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, DoubleInRange) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Error, HierarchyAndMessages) {
+  try {
+    throw ConfigError("bad knob");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad knob"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("config"), std::string::npos);
+  }
+  EXPECT_THROW(throw StateError("x"), Error);
+  EXPECT_THROW(throw ResourceError("x"), Error);
+}
+
+}  // namespace
+}  // namespace usw

@@ -1,0 +1,223 @@
+// Tests for the CPE tile executor: functional equivalence with a direct
+// kernel application, LDM capacity enforcement, DMA/tile accounting, and
+// timing-only behavior. Also failure-injection tests: errors thrown inside
+// rank bodies must cancel the whole simulation cleanly.
+
+#include <gtest/gtest.h>
+
+#include "apps/burgers/burgers_app.h"
+#include "apps/burgers/kernels.h"
+#include "runtime/controller.h"
+#include "sched/tile_exec.h"
+#include "sim/coordinator.h"
+#include "support/rng.h"
+
+namespace usw::sched {
+namespace {
+
+hw::MachineParams machine() { return hw::MachineParams::sunway_taihulight(); }
+
+kern::KernelEnv test_env() {
+  kern::KernelEnv env;
+  env.time = 0.02;
+  env.dt = 1e-4;
+  env.dx = env.dy = env.dz = 1.0 / 32;
+  return env;
+}
+
+TEST(TileExec, MatchesDirectKernelApplication) {
+  const grid::Box patch{{0, 0, 0}, {32, 32, 24}};
+  var::CCVariable<double> u0(patch.grown(1)), direct(patch), tiled(patch);
+  SplitMix64 rng(31);
+  for (double& x : u0.data()) x = rng.next_in(0.0, 1.0);
+
+  const kern::KernelVariants kv = apps::burgers::make_burgers_kernel(false);
+  const kern::KernelEnv env = test_env();
+  kv.scalar(env, kern::FieldView::of(u0), kern::FieldView::of(direct), patch);
+
+  const hw::CostModel cost(machine());
+  sim::run_ranks(1, [&](sim::Coordinator& coord, int rank) {
+    athread::CpeCluster cluster(cost, coord, rank);
+    TileExecArgs args;
+    args.kernel = &kv;
+    args.env = env;
+    args.in = kern::FieldView::of(u0);
+    args.out = kern::FieldView::of(tiled);
+    args.patch_cells = patch;
+    cluster.spawn(make_tile_job(args));
+    cluster.join();
+  });
+
+  for (std::size_t i = 0; i < direct.data().size(); ++i)
+    ASSERT_EQ(direct.data()[i], tiled.data()[i]) << "cell " << i;
+}
+
+TEST(TileExec, SimdTilingAlsoMatchesDirect) {
+  const grid::Box patch{{0, 0, 0}, {20, 12, 16}};  // remainder lanes in x
+  var::CCVariable<double> u0(patch.grown(1)), direct(patch), tiled(patch);
+  SplitMix64 rng(33);
+  for (double& x : u0.data()) x = rng.next_in(0.0, 1.0);
+
+  const kern::KernelVariants kv = apps::burgers::make_burgers_kernel(false);
+  const kern::KernelEnv env = test_env();
+  kv.simd(env, kern::FieldView::of(u0), kern::FieldView::of(direct), patch);
+
+  const hw::CostModel cost(machine());
+  sim::run_ranks(1, [&](sim::Coordinator& coord, int rank) {
+    athread::CpeCluster cluster(cost, coord, rank);
+    TileExecArgs args;
+    args.kernel = &kv;
+    args.env = env;
+    args.in = kern::FieldView::of(u0);
+    args.out = kern::FieldView::of(tiled);
+    args.patch_cells = patch;
+    args.vectorize = true;
+    cluster.spawn(make_tile_job(args));
+    cluster.join();
+  });
+  for (std::size_t i = 0; i < direct.data().size(); ++i)
+    ASSERT_EQ(direct.data()[i], tiled.data()[i]);
+}
+
+TEST(TileExec, CountsTilesAndDmaTraffic) {
+  const grid::Box patch{{0, 0, 0}, {16, 16, 64}};  // 8 tiles of 16x16x8
+  var::CCVariable<double> u0(patch.grown(1)), out(patch);
+  const kern::KernelVariants kv = apps::burgers::make_burgers_kernel(false);
+  const hw::CostModel cost(machine());
+  hw::PerfCounters counters;
+  sim::run_ranks(1, [&](sim::Coordinator& coord, int rank) {
+    athread::CpeCluster cluster(cost, coord, rank, &counters);
+    TileExecArgs args;
+    args.kernel = &kv;
+    args.env = test_env();
+    args.in = kern::FieldView::of(u0);
+    args.out = kern::FieldView::of(out);
+    args.patch_cells = patch;
+    cluster.spawn(make_tile_job(args));
+    cluster.join();
+  });
+  EXPECT_EQ(counters.tiles_executed, 8u);
+  EXPECT_EQ(counters.cells_computed, static_cast<std::uint64_t>(patch.volume()));
+  // Each tile stages a ghosted 18x18x10 block in and a 16x16x8 block out.
+  EXPECT_EQ(counters.dma_bytes_in, 8u * 18 * 18 * 10 * 8);
+  EXPECT_EQ(counters.dma_bytes_out, 8u * 16 * 16 * 8 * 8);
+  EXPECT_DOUBLE_EQ(counters.counted_flops,
+                   static_cast<double>(patch.volume()) *
+                       apps::burgers::burgers_kernel_cost().counted_flops_per_cell());
+}
+
+TEST(TileExec, TimingOnlyChargesWithoutData) {
+  const grid::Box patch{{0, 0, 0}, {16, 16, 64}};
+  const kern::KernelVariants kv = apps::burgers::make_burgers_kernel(false);
+  const hw::CostModel cost(machine());
+  hw::PerfCounters counters;
+  TimePs elapsed = 0;
+  sim::run_ranks(1, [&](sim::Coordinator& coord, int rank) {
+    athread::CpeCluster cluster(cost, coord, rank, &counters);
+    TileExecArgs args;
+    args.kernel = &kv;
+    args.env = test_env();
+    args.patch_cells = patch;  // views left invalid: timing-only
+    const TimePs before = coord.now(rank);
+    cluster.spawn(make_tile_job(args));
+    cluster.join();
+    elapsed = coord.now(rank) - before;
+  });
+  EXPECT_GT(elapsed, 0);
+  EXPECT_EQ(counters.tiles_executed, 8u);
+  EXPECT_GT(counters.counted_flops, 0.0);
+}
+
+TEST(TileExec, OversizedTileOverflowsLdm) {
+  const grid::Box patch{{0, 0, 0}, {32, 32, 32}};
+  kern::KernelVariants kv = apps::burgers::make_burgers_kernel(false);
+  kv.tile_shape = {32, 32, 32};  // ~300 KB working set
+  const hw::CostModel cost(machine());
+  EXPECT_THROW(
+      sim::run_ranks(1,
+                     [&](sim::Coordinator& coord, int rank) {
+                       athread::CpeCluster cluster(cost, coord, rank);
+                       TileExecArgs args;
+                       args.kernel = &kv;
+                       args.env = test_env();
+                       args.patch_cells = patch;
+                       cluster.spawn(make_tile_job(args));
+                       cluster.join();
+                     }),
+      ResourceError);
+}
+
+TEST(FailureInjection, LdmOverflowSurfacesFromFullSimulation) {
+  apps::burgers::BurgersApp::Config app_cfg;
+  app_cfg.tile_shape = {32, 32, 16};  // does not fit the 64 KB LDM
+  apps::burgers::BurgersApp app(app_cfg);
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({2, 2, 1}, {32, 32, 16});
+  cfg.variant = runtime::variant_by_name("acc.async");
+  cfg.nranks = 2;
+  cfg.timesteps = 1;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  EXPECT_THROW(runtime::run_simulation(cfg, app), ResourceError);
+}
+
+TEST(FailureInjection, ThrowingTaskCancelsAllRanks) {
+  // An application task throwing on one rank must fail the whole run
+  // (other ranks are cancelled, no hang, the original error surfaces).
+  class ThrowingApp : public apps::burgers::BurgersApp {
+   public:
+    void build_step_graph(task::TaskGraph& graph,
+                          const grid::Level& level) const override {
+      BurgersApp::build_step_graph(graph, level);
+      auto bomb = task::Task::make_mpe(
+          "bomb", [](const task::TaskContext& ctx, const grid::Patch& patch) -> TimePs {
+            if (patch.id() == 3 && ctx.step == 1)
+              throw StateError("injected task failure");
+            return 0;
+          });
+      graph.add(std::move(bomb));
+    }
+  };
+  ThrowingApp app;
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({2, 2, 1}, {8, 8, 8});
+  cfg.variant = runtime::variant_by_name("acc.sync");
+  cfg.nranks = 4;
+  cfg.timesteps = 3;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  try {
+    runtime::run_simulation(cfg, app);
+    FAIL() << "expected StateError";
+  } catch (const StateError& e) {
+    EXPECT_NE(std::string(e.what()).find("injected task failure"),
+              std::string::npos);
+  }
+}
+
+TEST(FailureInjection, MissingVariableIsDiagnosed) {
+  // A task requiring an old-DW variable that initialization never produced
+  // must fail with a clear data-warehouse error, not a crash.
+  class BadApp : public apps::burgers::BurgersApp {
+   public:
+    void build_init_graph(task::TaskGraph& graph,
+                          const grid::Level& level) const override {
+      (void)level;
+      auto noop = task::Task::make_mpe(
+          "noop", [](const task::TaskContext&, const grid::Patch&) -> TimePs {
+            return 0;
+          });
+      noop->add_computes(var::VarLabel::create("unrelated"));
+      graph.add(std::move(noop));
+    }
+  };
+  BadApp app;
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({2, 1, 1}, {8, 8, 8});
+  cfg.variant = runtime::variant_by_name("host.sync");
+  cfg.nranks = 1;
+  cfg.timesteps = 1;
+  cfg.storage = var::StorageMode::kFunctional;
+  EXPECT_THROW(runtime::run_simulation(cfg, app), StateError);
+}
+
+}  // namespace
+}  // namespace usw::sched
