@@ -55,6 +55,9 @@ void print_help() {
       "  --cpe-groups=N  --async-dma  --packed-tiles\n"
       "  --mpe-threshold=CELLS         small-kernel MPE heuristic\n"
       "  --trace                       record + dump rank 0's event trace\n"
+      "  --validate                    check every DW access against the\n"
+      "                                task graph and lint the comm plan;\n"
+      "                                exit 2 if violations are found\n"
       "\n"
       "output / restart (functional storage only):\n"
       "  --output=DIR --output-interval=N\n"
@@ -102,6 +105,7 @@ int main(int argc, char** argv) {
     config.mpe_kernel_threshold_cells =
         static_cast<std::uint64_t>(opts.get_int("mpe-threshold", 0));
     config.collect_trace = opts.get_bool("trace", false);
+    config.check.enabled = opts.get_bool("validate", false);
     config.output_dir = opts.get("output", "");
     config.output_interval = static_cast<int>(opts.get_int("output-interval", 0));
     config.restart_dir = opts.get("restart", "");
@@ -160,6 +164,17 @@ int main(int argc, char** argv) {
     if (config.collect_trace) {
       std::printf("\nrank 0 event trace:\n%s",
                   result.ranks[0].trace.dump().c_str());
+    }
+    if (config.check.enabled) {
+      const std::vector<check::Violation> violations = result.all_violations();
+      if (violations.empty()) {
+        std::printf("\nvalidation: clean (no violations)\n");
+      } else {
+        std::printf("\nvalidation: %zu violation(s):\n", violations.size());
+        for (const check::Violation& v : violations)
+          std::printf("  %s\n", v.to_string().c_str());
+        return 2;
+      }
     }
     return 0;
   } catch (const Error& e) {

@@ -1,0 +1,80 @@
+#include "check/comm_lint.h"
+
+#include <map>
+#include <string>
+#include <utility>
+
+namespace usw::check {
+namespace {
+
+std::string describe(const task::ExtComm& c, const char* role,
+                     const task::DetailedTask* owner) {
+  std::string s(role);
+  s.append(" of '")
+      .append(owner != nullptr ? owner->task->name() : "step start")
+      .append("' (")
+      .append(c.label->name())
+      .append(" p")
+      .append(std::to_string(c.from_patch))
+      .append("->p")
+      .append(std::to_string(c.to_patch))
+      .append(")");
+  return s;
+}
+
+void lint_side(
+    const std::vector<std::pair<const task::ExtComm*, const task::DetailedTask*>>&
+        comms,
+    const char* role, int rank, std::vector<Violation>& out) {
+  std::map<std::pair<int, int>, std::pair<const task::ExtComm*,
+                                          const task::DetailedTask*>>
+      by_tag;
+  for (const auto& [c, owner] : comms) {
+    auto [it, inserted] = by_tag.try_emplace({c->peer_rank, c->tag_base},
+                                             std::make_pair(c, owner));
+    if (inserted) continue;
+    const auto& [first, first_owner] = it->second;
+    out.push_back(make_violation(
+        ViolationKind::kTagAmbiguity, owner != nullptr ? owner->task->name() : "",
+        c->label->name(), c->to_patch, c->region,
+        "rank " + std::to_string(rank) + ": " + describe(*c, role, owner) +
+            " and " + describe(*first, role, first_owner) +
+            " share tag " + std::to_string(c->tag_base) + " with peer " +
+            std::to_string(c->peer_rank) + " and would match ambiguously"));
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> lint_compiled_graph(const task::CompiledGraph& graph,
+                                           int rank) {
+  std::vector<Violation> out;
+  std::vector<std::pair<const task::ExtComm*, const task::DetailedTask*>> recvs;
+  std::vector<std::pair<const task::ExtComm*, const task::DetailedTask*>> sends;
+  for (const task::DetailedTask& dt : graph.tasks) {
+    for (const task::ExtComm& rc : dt.recvs) recvs.emplace_back(&rc, &dt);
+    for (const task::ExtComm& sc : dt.sends) sends.emplace_back(&sc, &dt);
+  }
+  for (const task::ExtComm& sc : graph.initial_sends)
+    sends.emplace_back(&sc, nullptr);
+  lint_side(recvs, "receive", rank, out);
+  lint_side(sends, "send", rank, out);
+  return out;
+}
+
+std::vector<Violation> lint_network_shutdown(const comm::Network& net) {
+  std::vector<Violation> out;
+  for (int rank = 0; rank < net.size(); ++rank) {
+    for (const comm::Message& msg : net.mailbox(rank)) {
+      out.push_back(make_violation(
+          ViolationKind::kOrphanMessage, "", "", -1, grid::Box{},
+          "message from rank " + std::to_string(msg.src) + " to rank " +
+              std::to_string(msg.dst) + " (tag " + std::to_string(msg.tag) +
+              ", " + std::to_string(msg.bytes) +
+              " bytes) was sent but never received"));
+    }
+  }
+  return out;
+}
+
+}  // namespace usw::check

@@ -1,0 +1,32 @@
+#pragma once
+
+// Communication lint: static tag-ambiguity analysis of a compiled graph
+// and a shutdown sweep for orphaned messages.
+//
+// The task graph encodes (task, label, warehouse, from, to) into each MPI
+// tag precisely so that no two logically distinct messages can match the
+// same receive. If that invariant breaks — e.g. after a refactor of the
+// tag layout — two receives posted for the same (peer, tag) match in
+// nondeterministic order and halos are filled with the wrong region's
+// bytes. The shutdown lint catches the complementary failure: a message
+// that was sent but never received (stale declaration on the consumer
+// side, or a tag mismatch), which MPI would silently leak.
+
+#include <vector>
+
+#include "check/check.h"
+#include "comm/comm.h"
+#include "task/graph.h"
+
+namespace usw::check {
+
+/// Flags receives (and sends) of rank `rank`'s compiled graph that share
+/// a (peer, tag) pair and would therefore match ambiguously.
+std::vector<Violation> lint_compiled_graph(const task::CompiledGraph& graph,
+                                           int rank);
+
+/// Flags messages still sitting in any rank's mailbox after the run —
+/// sent but never matched by a receive. Call after all ranks finish.
+std::vector<Violation> lint_network_shutdown(const comm::Network& net);
+
+}  // namespace usw::check

@@ -1,0 +1,43 @@
+#include "check/tile_check.h"
+
+#include <cstdint>
+
+namespace usw::check {
+
+std::vector<Violation> check_tile_partition(
+    const grid::Box& patch_cells,
+    const std::vector<std::pair<int, grid::Box>>& tiles,
+    const std::string& task_name) {
+  std::vector<Violation> out;
+  std::int64_t covered = 0;
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const auto& [cpe_i, box_i] = tiles[i];
+    covered += box_i.volume();
+    if (!patch_cells.contains(box_i))
+      out.push_back(make_violation(
+          ViolationKind::kTileCoverage, task_name, "", -1, box_i,
+          "tile of CPE " + std::to_string(cpe_i) + " writes " +
+              box_i.to_string() + " outside the patch interior " +
+              patch_cells.to_string()));
+    for (std::size_t j = i + 1; j < tiles.size(); ++j) {
+      const auto& [cpe_j, box_j] = tiles[j];
+      if (!box_i.overlaps(box_j)) continue;
+      out.push_back(make_violation(
+          ViolationKind::kTileOverlap, task_name, "", -1,
+          box_i.intersect(box_j),
+          "tiles of CPE " + std::to_string(cpe_i) + " and CPE " +
+              std::to_string(cpe_j) + " both write " +
+              box_i.intersect(box_j).to_string() +
+              " (unsynchronized write-write race)"));
+    }
+  }
+  // With disjoint in-patch tiles, exact coverage reduces to a volume sum.
+  if (out.empty() && covered != patch_cells.volume())
+    out.push_back(make_violation(
+        ViolationKind::kTileCoverage, task_name, "", -1, patch_cells,
+        "tiles cover " + std::to_string(covered) + " of " +
+            std::to_string(patch_cells.volume()) + " patch cells"));
+  return out;
+}
+
+}  // namespace usw::check

@@ -1,0 +1,33 @@
+#pragma once
+
+// CPE tile-partition race detector.
+//
+// sched::tile_exec assigns every CPE of a group a set of tiles and each
+// CPE writes its tiles' interiors back to main memory with athread_put —
+// with no synchronization between CPEs, because the partition is supposed
+// to be exact: every patch cell in exactly one tile. If two tiles
+// overlap, two CPEs race on the overlap cells; if coverage has a hole,
+// those cells silently keep stale data. This check verifies both by
+// box-intersection, independent of the tiling code that produced the
+// assignment.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/check.h"
+#include "grid/box.h"
+
+namespace usw::check {
+
+/// Verifies that `tiles` — (cpe id, tile interior box) pairs — form an
+/// exact partition of `patch_cells`: pairwise disjoint (kTileOverlap, a
+/// write-write race between CPEs), each inside the patch, and jointly
+/// covering every cell (kTileCoverage). `task_name` is used for context
+/// in the violations.
+std::vector<Violation> check_tile_partition(
+    const grid::Box& patch_cells,
+    const std::vector<std::pair<int, grid::Box>>& tiles,
+    const std::string& task_name);
+
+}  // namespace usw::check

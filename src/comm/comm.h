@@ -64,6 +64,9 @@ class Network {
   void deliver(Message msg);
 
   std::vector<Message>& mailbox(int rank) { return mailboxes_[static_cast<std::size_t>(rank)]; }
+  const std::vector<Message>& mailbox(int rank) const {
+    return mailboxes_[static_cast<std::size_t>(rank)];
+  }
 
   std::uint64_t next_seq() { return seq_++; }
 

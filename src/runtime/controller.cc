@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "athread/athread.h"
+#include "check/comm_lint.h"
 #include "io/archive.h"
 #include "comm/comm.h"
 #include "hw/cost_model.h"
@@ -72,6 +73,20 @@ hw::PerfCounters RunResult::merged_counters() const {
   hw::PerfCounters sum;
   for (const RankResult& r : ranks) sum.merge(r.counters);
   return sum;
+}
+
+std::size_t RunResult::total_violations() const {
+  std::size_t n = comm_violations.size();
+  for (const RankResult& r : ranks) n += r.violations.size();
+  return n;
+}
+
+std::vector<check::Violation> RunResult::all_violations() const {
+  std::vector<check::Violation> all;
+  for (const RankResult& r : ranks)
+    all.insert(all.end(), r.violations.begin(), r.violations.end());
+  all.insert(all.end(), comm_violations.begin(), comm_violations.end());
+  return all;
 }
 
 RunResult run_simulation(const RunConfig& config, const Application& app) {
@@ -150,6 +165,24 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
     const task::CompiledGraph cg_step =
         step_graph.compile(level, part, rank, config.pattern);
 
+    // Opt-in validation: one checker per compiled graph (declarations and
+    // the happens-before closure differ between init and step), plus a
+    // static lint of each graph's communication plan.
+    std::unique_ptr<check::AccessChecker> init_checker;
+    std::unique_ptr<check::AccessChecker> step_checker;
+    if (config.check.enabled) {
+      init_checker =
+          std::make_unique<check::AccessChecker>(config.check, level, cg_init);
+      step_checker =
+          std::make_unique<check::AccessChecker>(config.check, level, cg_step);
+      if (config.check.comm) {
+        for (check::Violation& v : check::lint_compiled_graph(cg_init, rank))
+          out.violations.push_back(std::move(v));
+        for (check::Violation& v : check::lint_compiled_graph(cg_step, rank))
+          out.violations.push_back(std::move(v));
+      }
+    }
+
     var::DataWarehouse old_dw(config.storage, -1);
     var::DataWarehouse new_dw(config.storage, 0);
 
@@ -185,14 +218,18 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
       // Initialization "timestep": tag step 15 cannot collide with the
       // first real steps, and all of its messages drain before execute()
       // returns.
-      sched::Scheduler init_sched(sched_config, level,
+      sched::SchedulerConfig init_config = sched_config;
+      init_config.checker = init_checker.get();
+      sched::Scheduler init_sched(init_config, level,
                                   cg_init, comm, cluster, out.counters, out.trace);
       ctx.step = -1;
       out.init_wall = init_sched.execute(ctx).wall;
       old_dw.swap_in(new_dw);
     }
 
-    sched::Scheduler sched(sched_config, level, cg_step,
+    sched::SchedulerConfig step_config = sched_config;
+    step_config.checker = step_checker.get();
+    sched::Scheduler sched(step_config, level, cg_step,
                            comm, cluster, out.counters, out.trace);
     for (int s = 0; s < config.timesteps; ++s) {
       ctx.step = start_step + s;
@@ -218,7 +255,17 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
     }
 
     app.on_rank_complete(ctx, comm, part.patches_of(rank), out.metrics);
+
+    if (init_checker)
+      for (check::Violation& v : init_checker->take_violations())
+        out.violations.push_back(std::move(v));
+    if (step_checker)
+      for (check::Violation& v : step_checker->take_violations())
+        out.violations.push_back(std::move(v));
   });
+
+  if (config.check.enabled && config.check.comm)
+    result.comm_violations = check::lint_network_shutdown(network);
 
   return result;
 }

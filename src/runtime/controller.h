@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.h"
 #include "grid/partition.h"
 #include "hw/machine_params.h"
 #include "hw/perf_counters.h"
@@ -43,6 +44,13 @@ struct RunConfig {
   /// MPE even in offload modes (0 = always offload). See Sec V-C 3d.
   std::uint64_t mpe_kernel_threshold_cells = 0;
 
+  /// Opt-in runtime validation (src/check, uswsim --validate): per-rank
+  /// access checkers verify every DW access against the task graph's
+  /// declarations, detect tile/task write races, lint the compiled
+  /// communication, and sweep for orphaned messages at shutdown.
+  /// Violations land in RankResult::violations / RunResult::comm_violations.
+  check::CheckConfig check;
+
   // ---- Output / checkpoint (functional storage only) ----
   /// Archive directory; empty = no output.
   std::string output_dir;
@@ -62,12 +70,21 @@ struct RankResult {
   TimePs init_wall = 0;
   sim::Trace trace;
   std::map<std::string, double> metrics;  ///< application verification data
+  /// Validator findings for this rank (empty unless RunConfig::check is on).
+  std::vector<check::Violation> violations;
 };
 
 struct RunResult {
   int nranks = 0;
   int timesteps = 0;
   std::vector<RankResult> ranks;
+  /// Run-level comm-lint findings (orphaned messages at shutdown).
+  std::vector<check::Violation> comm_violations;
+
+  /// All validator findings across ranks plus the run-level comm lint.
+  std::size_t total_violations() const;
+  /// The findings themselves, ranks first, then comm lint.
+  std::vector<check::Violation> all_violations() const;
 
   /// Wall time of step `s`: the slowest rank (what a host-side timer sees).
   TimePs step_wall(int s) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "check/check.h"
 #include "sched/tile_exec.h"
 #include "support/error.h"
 #include "support/log.h"
@@ -32,14 +33,22 @@ var::DataWarehouse& Scheduler::dw_for(task::TaskContext& ctx,
 
 kern::FieldView Scheduler::view_of(var::DataWarehouse& dw,
                                    const var::VarLabel* label,
-                                   int patch_id) const {
+                                   int patch_id, bool for_write) const {
   if (!dw.functional()) return kern::FieldView{};
-  return kern::FieldView::of(dw.get(label, patch_id));
+  return kern::FieldView::of(for_write ? dw.get_writable(label, patch_id)
+                                       : dw.get(label, patch_id));
 }
 
 StepStats Scheduler::execute(task::TaskContext& ctx) {
   ctx.cost = &comm_.net().cost();
   const TimePs start = comm_.now();
+
+  if (config_.checker != nullptr) {
+    config_.checker->begin_step();
+    config_.checker->bind_warehouses(ctx.old_dw, ctx.new_dw);
+    ctx.old_dw->set_observer(config_.checker);
+    ctx.new_dw->set_observer(config_.checker);
+  }
 
   const std::size_t n = graph_.tasks.size();
   state_.assign(n, DtState{});
@@ -84,6 +93,11 @@ StepStats Scheduler::execute(task::TaskContext& ctx) {
   finalize_reductions(ctx);
   comm_.advance(comm_.net().cost().step_fixed_overhead());
   comm_.reset_requests();
+
+  if (config_.checker != nullptr) {
+    ctx.old_dw->set_observer(nullptr);
+    ctx.new_dw->set_observer(nullptr);
+  }
 
   StepStats stats;
   stats.wall = comm_.now() - start;
@@ -171,12 +185,14 @@ void Scheduler::mpe_part(task::TaskContext& ctx, int dt_index) {
   ready_.erase(dt_index);
   trace_.record(comm_.now(), sim::EventKind::kTaskBegin,
                 dt.task->name() + " p" + std::to_string(dt.patch_id));
+  if (config_.checker != nullptr) config_.checker->begin_task(dt_index);
   const TimePs overhead = comm_.net().cost().mpe_task_overhead();
   comm_.advance(overhead);
   counters_.mpe_task_time += overhead;
   // Gather locally available ghost data (the data warehouse copies the MPE
   // performs before handing the kernel its inputs).
   for (const task::LocalCopy& lc : dt.local_copies) {
+    if (config_.checker != nullptr) config_.checker->record_local_copy(dt_index, lc);
     const TimePs cost = comm_.net().cost().mpe_pack(lc.bytes());
     comm_.advance(cost);
     counters_.mpe_task_time += cost;
@@ -203,9 +219,16 @@ void Scheduler::run_stencil_on_mpe(task::TaskContext& ctx, int dt_index) {
   const kern::KernelVariants& kernel = dt.task->kernel();
   const grid::Patch& patch = level_.patch(dt.patch_id);
   const auto cells = static_cast<std::uint64_t>(patch.cells().volume());
+  if (config_.checker != nullptr) {
+    config_.checker->record_stencil_read(dt_index, dt.task->stencil_in(),
+                                         dt.task->stencil_in_dw(),
+                                         patch.ghosted(kernel.ghost));
+    config_.checker->record_write(dt_index, dt.task->stencil_out(), patch.cells());
+  }
   const kern::FieldView in = view_of(dw_for(ctx, dt.task->stencil_in_dw()),
                                      dt.task->stencil_in(), dt.patch_id);
-  const kern::FieldView out = view_of(*ctx.new_dw, dt.task->stencil_out(), dt.patch_id);
+  const kern::FieldView out = view_of(*ctx.new_dw, dt.task->stencil_out(),
+                                      dt.patch_id, /*for_write=*/true);
   if (in.valid() && out.valid()) kernel.scalar(env_of(ctx), in, out, patch.cells());
   const hw::KernelCost scaled = kernel.cost.scaled(kernel.scale_for(patch));
   const TimePs cost = comm_.net().cost().mpe_compute(cells, scaled);
@@ -213,18 +236,31 @@ void Scheduler::run_stencil_on_mpe(task::TaskContext& ctx, int dt_index) {
   counters_.kernel_time += cost;
   counters_.kernels_on_mpe += 1;
   counters_.count_kernel_cells(cells, scaled);
+  if (config_.checker != nullptr) config_.checker->end_task();
 }
 
 void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group) {
   const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
   const kern::KernelVariants& kernel = dt.task->kernel();
   const grid::Patch& patch = level_.patch(dt.patch_id);
+  if (config_.checker != nullptr) {
+    config_.checker->record_stencil_read(dt_index, dt.task->stencil_in(),
+                                         dt.task->stencil_in_dw(),
+                                         patch.ghosted(kernel.ghost));
+    config_.checker->record_write(dt_index, dt.task->stencil_out(), patch.cells());
+    // The tile-partition race detector: the per-CPE write-sets of this
+    // offload must partition the patch interior exactly.
+    config_.checker->record_tile_partition(
+        dt_index, patch.cells(),
+        tile_writes(patch.cells(), kernel.tile_shape, cluster_.group_size()));
+  }
   TileExecArgs args;
   args.kernel = &kernel;
   args.env = env_of(ctx);
   args.in = view_of(dw_for(ctx, dt.task->stencil_in_dw()),
                     dt.task->stencil_in(), dt.patch_id);
-  args.out = view_of(*ctx.new_dw, dt.task->stencil_out(), dt.patch_id);
+  args.out = view_of(*ctx.new_dw, dt.task->stencil_out(), dt.patch_id,
+                     /*for_write=*/true);
   args.patch_cells = patch.cells();
   args.vectorize = config_.vectorize && kernel.has_simd();
   args.async_dma = config_.async_dma;
@@ -238,6 +274,9 @@ void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group)
   trace_.record(cluster_.completion_time(group), sim::EventKind::kKernelEnd,
                 dt.task->name() + " p" + std::to_string(dt.patch_id));
   offloaded_[static_cast<std::size_t>(group)] = dt_index;
+  // The functional writes happened eagerly inside spawn(); the MPE-side
+  // task scope ends here even though the offload is still in flight.
+  if (config_.checker != nullptr) config_.checker->end_task();
 }
 
 void Scheduler::run_mpe_body(task::TaskContext& ctx, int dt_index) {
@@ -273,6 +312,7 @@ void Scheduler::run_mpe_body(task::TaskContext& ctx, int dt_index) {
   } else {
     USW_ASSERT_MSG(false, "stencil task routed to run_mpe_body");
   }
+  if (config_.checker != nullptr) config_.checker->end_task();
 }
 
 void Scheduler::on_finished(task::TaskContext& ctx, int dt_index) {
@@ -315,6 +355,8 @@ bool Scheduler::progress_comm(task::TaskContext& ctx) {
     }
     any = true;
     const task::ExtComm& rc = *open_recv_comm_[r];
+    if (config_.checker != nullptr)
+      config_.checker->record_recv_unpack(open_recv_dt_[r], rc);
     const TimePs unpack_cost = comm_.net().cost().mpe_pack(rc.bytes());
     comm_.advance(unpack_cost);
     counters_.comm_time += unpack_cost;

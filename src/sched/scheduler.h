@@ -38,6 +38,10 @@
 #include "task/graph.h"
 #include "var/datawarehouse.h"
 
+namespace usw::check {
+class AccessChecker;
+}  // namespace usw::check
+
 namespace usw::sched {
 
 enum class SchedulerMode { kMpeOnly, kSyncMpeCpe, kAsyncMpeCpe };
@@ -70,6 +74,12 @@ struct SchedulerConfig {
   /// where the athread launch + tile staging overhead exceeds the win from
   /// 64 slow CPEs. 0 disables the heuristic.
   std::uint64_t mpe_kernel_threshold_cells = 0;
+
+  /// Opt-in runtime validator (src/check): when set, the scheduler
+  /// brackets task execution, records stencil/halo access regions, and
+  /// installs the checker as the warehouses' access observer for the
+  /// duration of each step. Null (the default) costs nothing.
+  check::AccessChecker* checker = nullptr;
 };
 
 /// Per-timestep result for one rank.
@@ -127,7 +137,7 @@ class Scheduler {
   void idle_wait();
   var::DataWarehouse& dw_for(task::TaskContext& ctx, task::WhichDW which) const;
   kern::FieldView view_of(var::DataWarehouse& dw, const var::VarLabel* label,
-                          int patch_id) const;
+                          int patch_id, bool for_write = false) const;
   kern::KernelEnv env_of(const task::TaskContext& ctx) const;
 
   SchedulerConfig config_;

@@ -126,6 +126,18 @@ void run_double_buffered(const TileExecArgs& args, athread::CpeContext& ctx,
 
 }  // namespace
 
+std::vector<std::pair<int, grid::Box>> tile_writes(const grid::Box& patch_cells,
+                                                   grid::IntVec tile_shape,
+                                                   int n_cpes) {
+  const grid::Tiling tiling(patch_cells, tile_shape);
+  std::vector<std::pair<int, grid::Box>> writes;
+  writes.reserve(static_cast<std::size_t>(tiling.num_tiles()));
+  for (int cpe = 0; cpe < n_cpes; ++cpe)
+    for (int t : tiling.tiles_for_cpe(cpe, n_cpes))
+      writes.emplace_back(cpe, tiling.tile(t));
+  return writes;
+}
+
 athread::CpeJob make_tile_job(TileExecArgs args) {
   USW_ASSERT(args.kernel != nullptr);
   return [args](athread::CpeContext& ctx) {

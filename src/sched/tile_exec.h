@@ -18,6 +18,9 @@
 //   * packed_tiles - tiles are stored contiguously in main memory, so DMA
 //     runs at the packed (higher) efficiency instead of the strided one.
 
+#include <utility>
+#include <vector>
+
 #include "athread/athread.h"
 #include "grid/box.h"
 #include "grid/tiling.h"
@@ -42,5 +45,13 @@ struct TileExecArgs {
 /// Job for CpeCluster::spawn. Copies `args` by value; the views must stay
 /// valid until the offload completes.
 athread::CpeJob make_tile_job(TileExecArgs args);
+
+/// The per-CPE write-sets — (cpe id, tile interior box) pairs — that
+/// make_tile_job's job will produce for this patch/tile-shape/group size.
+/// Built from the same Tiling the job uses, so the access checker's
+/// tile-partition race detector validates the real assignment.
+std::vector<std::pair<int, grid::Box>> tile_writes(const grid::Box& patch_cells,
+                                                   grid::IntVec tile_shape,
+                                                   int n_cpes);
 
 }  // namespace usw::sched

@@ -19,6 +19,7 @@ CCVariable<double>& DataWarehouse::allocate(const VarLabel* label,
   e.ghost = ghost;
   e.data = std::make_unique<CCVariable<double>>();
   if (functional()) e.data->allocate(e.box);
+  if (observer_ != nullptr) observer_->on_allocate(*this, label, patch.id());
   return *e.data;
 }
 
@@ -27,6 +28,17 @@ CCVariable<double>& DataWarehouse::get(const VarLabel* label, int patch_id) {
   if (v == nullptr)
     throw StateError("variable '" + label->name() + "' missing on patch " +
                      std::to_string(patch_id) + " in DW step " + std::to_string(step_));
+  if (observer_ != nullptr) observer_->on_get(*this, label, patch_id);
+  return *v;
+}
+
+CCVariable<double>& DataWarehouse::get_writable(const VarLabel* label,
+                                                int patch_id) {
+  CCVariable<double>* v = find(label, patch_id);
+  if (v == nullptr)
+    throw StateError("variable '" + label->name() + "' missing on patch " +
+                     std::to_string(patch_id) + " in DW step " + std::to_string(step_));
+  if (observer_ != nullptr) observer_->on_write(*this, label, patch_id);
   return *v;
 }
 

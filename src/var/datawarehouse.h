@@ -27,6 +27,27 @@ enum class StorageMode {
   kTimingOnly,  ///< variables track extents only
 };
 
+class DataWarehouse;
+
+/// Observes grid-variable accesses for the opt-in runtime validator
+/// (src/check). One observer may be installed per warehouse; calls happen
+/// on the owning rank's thread only. The warehouse reference identifies
+/// which warehouse (old or new) was touched — the warehouse itself does
+/// not know its role.
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+  /// A variable was looked up via get()/get_writable's read path.
+  virtual void on_get(const DataWarehouse& dw, const VarLabel* label,
+                      int patch_id) = 0;
+  /// A variable was handed out with declared write intent.
+  virtual void on_write(const DataWarehouse& dw, const VarLabel* label,
+                        int patch_id) = 0;
+  /// A variable was allocated.
+  virtual void on_allocate(const DataWarehouse& dw, const VarLabel* label,
+                           int patch_id) = 0;
+};
+
 class DataWarehouse {
  public:
   explicit DataWarehouse(StorageMode mode, int step = 0)
@@ -45,9 +66,14 @@ class DataWarehouse {
   CCVariable<double>& allocate(const VarLabel* label, const grid::Patch& patch,
                                int ghost);
 
-  /// The variable, which must exist (throws StateError otherwise).
+  /// The variable, which must exist (throws StateError otherwise). The
+  /// access checker treats a plain get as a *read*; use get_writable for
+  /// mutation so undeclared writes are detectable.
   CCVariable<double>& get(const VarLabel* label, int patch_id);
   const CCVariable<double>& get(const VarLabel* label, int patch_id) const;
+
+  /// Same lookup as get(), but declares write intent to the observer.
+  CCVariable<double>& get_writable(const VarLabel* label, int patch_id);
 
   /// The variable or nullptr.
   CCVariable<double>* find(const VarLabel* label, int patch_id);
@@ -77,6 +103,12 @@ class DataWarehouse {
   /// (the "new DW becomes the old DW" swap, Sec II).
   void swap_in(DataWarehouse& newer);
 
+  /// Installs (or, with nullptr, removes) the access observer. The
+  /// observer must outlive its installation; when none is installed the
+  /// only overhead per access is one null-pointer test.
+  void set_observer(AccessObserver* observer) { observer_ = observer; }
+  AccessObserver* observer() const { return observer_; }
+
  private:
   struct Entry {
     std::unique_ptr<CCVariable<double>> data;  ///< null in timing-only mode
@@ -89,6 +121,7 @@ class DataWarehouse {
   int step_;
   std::map<Key, Entry> grid_vars_;
   std::map<int, double> reductions_;
+  AccessObserver* observer_ = nullptr;
 };
 
 }  // namespace usw::var
