@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "json_report.h"
 #include "runtime/problem.h"
 #include "runtime/variant.h"
 #include "support/table.h"
@@ -13,6 +14,8 @@
 int main() {
   using namespace usw;
   bench::Sweep sweep;
+  sweep.set_observe(true);
+  bench::JsonReport json("fig5_strong_scaling");
 
   const std::vector<std::string> variants = {"acc.sync", "acc.async",
                                              "acc_simd.sync", "acc_simd.async"};
@@ -27,6 +30,7 @@ int main() {
       for (const auto& vname : variants) {
         const auto& res =
             sweep.run(problem, runtime::variant_by_name(vname), cgs);
+        json.add({problem.name, vname, cgs}, res);
         row.push_back(format_duration(res.mean_step));
       }
       table.add_row(std::move(row));
@@ -34,5 +38,7 @@ int main() {
     table.print(std::cout);
     std::cout << '\n';
   }
+  const std::string path = json.write();
+  if (!path.empty()) std::cout << "wrote " << path << "\n";
   return 0;
 }

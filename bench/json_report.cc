@@ -1,0 +1,47 @@
+#include "json_report.h"
+
+#include <fstream>
+
+#include "obs/json_writer.h"
+
+namespace usw::bench {
+
+void JsonReport::add(const CaseKey& key, const CaseResult& result) {
+  cases_.emplace_back(key, result);
+}
+
+void JsonReport::add_scalar(const std::string& key, double value) {
+  scalars_.emplace_back(key, value);
+}
+
+std::string JsonReport::write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream os(path);
+  if (!os) return "";
+  obs::JsonWriter w(os, /*indent=*/1);
+  w.begin_object();
+  w.kv("bench", name_.c_str());
+  w.key("scalars").begin_object();
+  for (const auto& [key, value] : scalars_) w.kv(key, value);
+  w.end_object();
+  w.key("cases").begin_array();
+  for (const auto& [key, res] : cases_) {
+    w.begin_object();
+    w.kv("problem", key.problem.c_str());
+    w.kv("variant", key.variant.c_str());
+    w.kv("ranks", key.ranks);
+    w.kv("mean_step_ps", res.mean_step);
+    w.kv("gflops", res.gflops);
+    w.kv("counted_flops", res.counted_flops);
+    w.kv("overlap_efficiency", res.overlap_efficiency);
+    w.kv("wait_ps", res.wait_ps);
+    w.kv("critical_path_ps", res.critical_path_ps);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return path;
+}
+
+}  // namespace usw::bench

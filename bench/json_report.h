@@ -1,0 +1,35 @@
+#pragma once
+
+// Machine-readable bench output: collects the cases a driver ran and
+// writes them as BENCH_<name>.json next to the text tables, so results
+// can be archived, diffed between runs, and picked up by CI artifacts.
+
+#include <string>
+#include <vector>
+
+#include "sweep.h"
+
+namespace usw::bench {
+
+class JsonReport {
+ public:
+  /// `name` becomes the file stem: BENCH_<name>.json.
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// Records one executed case.
+  void add(const CaseKey& key, const CaseResult& result);
+
+  /// Extra run-level scalar (e.g. an average improvement).
+  void add_scalar(const std::string& key, double value);
+
+  /// Writes BENCH_<name>.json into `dir`; returns the path written, or an
+  /// empty string if the file could not be opened.
+  std::string write(const std::string& dir = ".") const;
+
+ private:
+  std::string name_;
+  std::vector<std::pair<CaseKey, CaseResult>> cases_;
+  std::vector<std::pair<std::string, double>> scalars_;
+};
+
+}  // namespace usw::bench

@@ -3,6 +3,8 @@
 #include <cstdio>
 
 #include "apps/burgers/burgers_app.h"
+#include "obs/metrics.h"
+#include "runtime/observe.h"
 #include "support/error.h"
 
 namespace usw::bench {
@@ -19,6 +21,8 @@ const CaseResult& Sweep::run(const runtime::ProblemSpec& problem,
   config.nranks = ranks;
   config.timesteps = timesteps_;
   config.storage = var::StorageMode::kTimingOnly;
+  config.collect_trace = observe_;
+  config.collect_metrics = observe_;
 
   apps::burgers::BurgersApp app;
   const runtime::RunResult r = runtime::run_simulation(config, app);
@@ -27,6 +31,16 @@ const CaseResult& Sweep::run(const runtime::ProblemSpec& problem,
   res.mean_step = r.mean_step_wall();
   res.gflops = r.achieved_gflops();
   res.counted_flops = r.total_counted_flops();
+  if (observe_) {
+    const obs::MetricsReport m = obs::build_metrics(runtime::observe(r));
+    res.overlap_efficiency = m.overlap_efficiency;
+    TimePs cp = 0;
+    for (const obs::StepMetrics& s : m.steps) {
+      res.wait_ps += s.wait;
+      cp += s.critical_path;
+    }
+    if (!m.steps.empty()) res.critical_path_ps = cp / static_cast<TimePs>(m.steps.size());
+  }
   std::fprintf(stderr, "  [sweep] %s %s %3d CGs: %s/step\n",
                problem.name.c_str(), variant.name.c_str(), ranks,
                format_duration(res.mean_step).c_str());

@@ -33,11 +33,20 @@ struct CaseResult {
   TimePs mean_step = 0;       ///< wall time per timestep (slowest rank)
   double gflops = 0.0;        ///< achieved, Fig 9's metric
   double counted_flops = 0.0; ///< per run (10 steps)
+
+  // Filled only when the sweep observes its runs (Sweep::set_observe):
+  double overlap_efficiency = 0.0;  ///< 1 - wait/wall over the whole run
+  TimePs wait_ps = 0;               ///< summed MPE idle (all ranks, steps)
+  TimePs critical_path_ps = 0;      ///< mean per-step critical path
 };
 
 class Sweep {
  public:
   explicit Sweep(int timesteps = 10) : timesteps_(timesteps) {}
+
+  /// When on, every subsequent run collects trace + metrics and fills the
+  /// observability fields of CaseResult (at some simulation-memory cost).
+  void set_observe(bool on) { observe_ = on; }
 
   /// Runs (or returns the cached) case.
   const CaseResult& run(const runtime::ProblemSpec& problem,
@@ -51,6 +60,7 @@ class Sweep {
 
  private:
   int timesteps_;
+  bool observe_ = false;
   std::map<CaseKey, CaseResult> cache_;
 };
 

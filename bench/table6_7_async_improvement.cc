@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "json_report.h"
 #include "runtime/problem.h"
 #include "runtime/variant.h"
 #include "support/table.h"
@@ -16,7 +17,8 @@
 
 namespace {
 
-void improvement_table(usw::bench::Sweep& sweep, bool vectorized) {
+void improvement_table(usw::bench::Sweep& sweep, bool vectorized,
+                       usw::bench::JsonReport& json) {
   using namespace usw;
   const runtime::Variant sync_v =
       runtime::variant_by_name(vectorized ? "acc_simd.sync" : "acc.sync");
@@ -33,6 +35,8 @@ void improvement_table(usw::bench::Sweep& sweep, bool vectorized) {
   double sum = 0.0;
   int count = 0;
   double best = 0.0;
+  double sync_overlap = 0.0;
+  double async_overlap = 0.0;
   for (const runtime::ProblemSpec& problem : runtime::paper_problems()) {
     std::vector<std::string> row = {problem.name};
     for (int n = 1; n <= 128; n *= 2) {
@@ -42,25 +46,39 @@ void improvement_table(usw::bench::Sweep& sweep, bool vectorized) {
       }
       const auto& ts = sweep.run(problem, sync_v, n);
       const auto& ta = sweep.run(problem, async_v, n);
+      json.add({problem.name, sync_v.name, n}, ts);
+      json.add({problem.name, async_v.name, n}, ta);
       const double gain = static_cast<double>(ts.mean_step - ta.mean_step) /
                           static_cast<double>(ta.mean_step);
       sum += gain;
       ++count;
       best = std::max(best, gain);
+      sync_overlap += ts.overlap_efficiency;
+      async_overlap += ta.overlap_efficiency;
       row.push_back(TextTable::pct(gain));
     }
     table.add_row(std::move(row));
   }
   table.print(std::cout);
+  const char* suffix = vectorized ? "simd" : "scalar";
+  json.add_scalar(std::string("avg_improvement_") + suffix, sum / count);
+  json.add_scalar(std::string("best_improvement_") + suffix, best);
   std::cout << "average improvement: " << TextTable::pct(sum / count)
-            << ", best: " << TextTable::pct(best) << "\n\n";
+            << ", best: " << TextTable::pct(best) << "\n"
+            << "mean overlap efficiency: sync "
+            << TextTable::pct(sync_overlap / count) << ", async "
+            << TextTable::pct(async_overlap / count) << "\n\n";
 }
 
 }  // namespace
 
 int main() {
   usw::bench::Sweep sweep;
-  improvement_table(sweep, /*vectorized=*/false);
-  improvement_table(sweep, /*vectorized=*/true);
+  sweep.set_observe(true);
+  usw::bench::JsonReport json("table6_7_async_improvement");
+  improvement_table(sweep, /*vectorized=*/false, json);
+  improvement_table(sweep, /*vectorized=*/true, json);
+  const std::string path = json.write();
+  if (!path.empty()) std::cout << "wrote " << path << "\n";
   return 0;
 }

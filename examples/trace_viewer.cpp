@@ -3,11 +3,17 @@
 // activity, and idle waits, exactly the behavior of Fig 4.
 //
 //   $ ./trace_viewer [--variant=acc.async] [--ranks=2] [--rank=0] [--steps=1]
+//
+// With --json=FILE the same run is exported as a Chrome/Perfetto trace of
+// every rank instead of a text dump.
 
 #include <cstdio>
+#include <fstream>
 
 #include "apps/burgers/burgers_app.h"
+#include "obs/chrome_trace.h"
 #include "runtime/controller.h"
+#include "runtime/observe.h"
 #include "support/options.h"
 
 int main(int argc, char** argv) {
@@ -24,6 +30,19 @@ int main(int argc, char** argv) {
 
   apps::burgers::BurgersApp app;
   const runtime::RunResult result = runtime::run_simulation(config, app);
+
+  const std::string json = opts.get("json", "");
+  if (!json.empty()) {
+    std::ofstream os(json);
+    if (!os) {
+      std::fprintf(stderr, "trace_viewer: cannot write '%s'\n", json.c_str());
+      return 1;
+    }
+    obs::write_chrome_trace(os, runtime::observe(result));
+    std::printf("wrote Chrome trace of %d ranks to %s\n", config.nranks,
+                json.c_str());
+    return 0;
+  }
 
   const int rank = static_cast<int>(opts.get_int("rank", 0));
   const auto& trace = result.ranks.at(static_cast<std::size_t>(rank)).trace;

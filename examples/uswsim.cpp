@@ -18,13 +18,18 @@
 // Run with --help for the full option list.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
 #include "apps/advect/advect_app.h"
 #include "apps/burgers/burgers_app.h"
 #include "apps/heat/heat_app.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 #include "runtime/controller.h"
+#include "runtime/observe.h"
 #include "support/options.h"
 #include "support/table.h"
 
@@ -58,6 +63,15 @@ void print_help() {
       "  --validate                    check every DW access against the\n"
       "                                task graph and lint the comm plan;\n"
       "                                exit 2 if violations are found\n"
+      "\n"
+      "observability (each implies trace + metrics collection):\n"
+      "  --trace-json=FILE             Chrome/Perfetto trace of every rank\n"
+      "                                (load in ui.perfetto.dev or\n"
+      "                                chrome://tracing)\n"
+      "  --metrics-json=FILE           per-step and per-task metrics, with\n"
+      "                                overlap efficiency and critical path\n"
+      "  --report                      print the breakdown tables and the\n"
+      "                                critical chain of the slowest step\n"
       "\n"
       "output / restart (functional storage only):\n"
       "  --output=DIR --output-interval=N\n"
@@ -105,6 +119,13 @@ int main(int argc, char** argv) {
     config.mpe_kernel_threshold_cells =
         static_cast<std::uint64_t>(opts.get_int("mpe-threshold", 0));
     config.collect_trace = opts.get_bool("trace", false);
+    const std::string trace_json = opts.get("trace-json", "");
+    const std::string metrics_json = opts.get("metrics-json", "");
+    const bool report = opts.get_bool("report", false);
+    if (!trace_json.empty() || !metrics_json.empty() || report) {
+      config.collect_trace = true;
+      config.collect_metrics = true;
+    }
     config.check.enabled = opts.get_bool("validate", false);
     config.output_dir = opts.get("output", "");
     config.output_interval = static_cast<int>(opts.get_int("output-interval", 0));
@@ -161,9 +182,31 @@ int main(int argc, char** argv) {
       for (const auto& [key, value] : result.ranks[0].metrics)
         std::printf("  %-12s %.6e\n", key.c_str(), value);
     }
-    if (config.collect_trace) {
+    if (opts.get_bool("trace", false)) {
       std::printf("\nrank 0 event trace:\n%s",
                   result.ranks[0].trace.dump().c_str());
+    }
+    if (!trace_json.empty() || !metrics_json.empty() || report) {
+      const obs::RunObservation observation = runtime::observe(result);
+      if (!trace_json.empty()) {
+        std::ofstream os(trace_json);
+        if (!os) throw ConfigError("cannot write --trace-json file '" + trace_json + "'");
+        obs::write_chrome_trace(os, observation);
+        std::printf("\nwrote Chrome trace to %s\n", trace_json.c_str());
+      }
+      if (!metrics_json.empty() || report) {
+        const obs::MetricsReport metrics = obs::build_metrics(observation);
+        if (!metrics_json.empty()) {
+          std::ofstream os(metrics_json);
+          if (!os) throw ConfigError("cannot write --metrics-json file '" + metrics_json + "'");
+          obs::write_metrics_json(os, metrics);
+          std::printf("wrote metrics to %s\n", metrics_json.c_str());
+        }
+        if (report) {
+          std::printf("\n");
+          obs::print_report(std::cout, metrics, observation);
+        }
+      }
     }
     if (config.check.enabled) {
       const std::vector<check::Violation> violations = result.all_violations();

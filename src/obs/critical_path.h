@@ -1,0 +1,58 @@
+#pragma once
+
+// Critical-path analysis of one executed timestep.
+//
+// Walks the recorded task spans against the task-graph skeleton (internal
+// successor edges plus cross-rank send->recv edges matched by (peer, tag))
+// and computes the longest dependent chain of task execution time — the
+// lower bound no scheduler can beat for this step. Comparing the chain
+// against the measured makespan separates "the schedule is tight" from
+// "there is slack an async scheduler could still hide": for the paper's
+// Tables VI/VII, the async variant's win is exactly the makespan moving
+// toward the critical path while the chain itself stays put.
+//
+// Task spans cover a detailed task's full lifetime (MPE part through
+// completion, including CPE flight), and every dependency edge respects
+// virtual-time order, so `total` can never exceed the step's makespan.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/observation.h"
+
+namespace usw::obs {
+
+/// One link of the critical chain, in execution order.
+struct CriticalPathEntry {
+  int rank = -1;
+  int task = -1;  ///< detailed-task index on that rank
+  std::string name;
+  int patch = -1;
+  TimePs begin = 0;
+  TimePs duration = 0;
+};
+
+struct CriticalPathReport {
+  int step = 0;
+  /// Longest dependent chain: sum of task durations along the chain.
+  TimePs total = 0;
+  /// Measured wall of the step window: latest span end minus earliest
+  /// span begin across all ranks. total <= makespan always holds.
+  TimePs makespan = 0;
+  std::vector<CriticalPathEntry> chain;
+  /// Minimum slack per task name (0 for tasks on the critical path):
+  /// how much that task could stretch without lengthening the chain.
+  std::map<std::string, TimePs> slack_by_task;
+
+  /// makespan - total: schedule time not explained by the dependency
+  /// chain — overhead plus waits a better overlap could still recover.
+  TimePs slack() const { return makespan - total; }
+};
+
+/// Analyzes timestep `step` (-1 = initialization). Requires the
+/// observation to carry spans and graph skeletons (collect_trace);
+/// returns an empty report otherwise.
+CriticalPathReport analyze_critical_path(const RunObservation& run, int step);
+
+}  // namespace usw::obs

@@ -1,0 +1,128 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace usw::obs {
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pad() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_); ++i)
+    os_ << ' ';
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  if (!stack_.back().empty) os_ << ',';
+  stack_.back().empty = false;
+  pad();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  os_ << '{';
+  stack_.push_back(Frame{false, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had = !stack_.back().empty;
+  stack_.pop_back();
+  if (had) pad();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  os_ << '[';
+  stack_.push_back(Frame{true, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had = !stack_.back().empty;
+  stack_.pop_back();
+  if (had) pad();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  separate();
+  os_ << '"' << escape(k) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  os_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return value_null();
+  separate();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  // %g may print a bare integer; that is still valid JSON.
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  separate();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace usw::obs

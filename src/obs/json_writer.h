@@ -1,0 +1,64 @@
+#pragma once
+
+// Minimal streaming JSON emitter for the observability exporters.
+//
+// Handles comma placement, string escaping, and non-finite doubles (which
+// JSON cannot represent; they are emitted as null) so every exporter
+// produces output that `python3 -m json.tool` accepts. No DOM, no
+// dependencies — values stream straight to the ostream.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usw::obs {
+
+class JsonWriter {
+ public:
+  /// `indent` > 0 pretty-prints with that many spaces per level.
+  explicit JsonWriter(std::ostream& os, int indent = 1) : os_(os), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value_null();
+
+  // Convenience: key + scalar in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// JSON string escaping (exposed for tests).
+  static std::string escape(std::string_view s);
+
+ private:
+  void separate();  ///< comma/newline before a new element
+  void pad();
+
+  std::ostream& os_;
+  int indent_;
+  struct Frame {
+    bool array = false;
+    bool empty = true;
+  };
+  std::vector<Frame> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace usw::obs

@@ -1,0 +1,207 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/critical_path.h"
+#include "obs/json_writer.h"
+
+namespace usw::obs {
+
+const Distribution* MetricsRegistry::distribution(const std::string& name) const {
+  const auto it = dists_.find(name);
+  return it == dists_.end() ? nullptr : &it->second;
+}
+
+double MetricsRegistry::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counters_[name] += value;
+  for (const auto& [name, dist] : other.dists_) {
+    Distribution& mine = dists_[name];
+    mine.stats.merge(dist.stats);
+    mine.samples.insert(mine.samples.end(), dist.samples.begin(),
+                        dist.samples.end());
+  }
+}
+
+MetricsReport build_metrics(const RunObservation& run) {
+  MetricsReport report;
+  report.nranks = run.nranks;
+  report.timesteps = run.timesteps;
+
+  bool have_spans = false;
+  for (const RankObservation& r : run.ranks)
+    if (!r.spans.empty()) have_spans = true;
+
+  TimePs all_wait = 0;
+  TimePs all_walls = 0;
+  TimePs comm_flight = 0;
+  for (int s = 0; s < run.timesteps; ++s) {
+    StepMetrics step;
+    step.step = s;
+    TimePs rank_walls = 0;
+    for (const RankObservation& r : run.ranks) {
+      const TimePs wall = s < static_cast<int>(r.step_walls.size())
+                              ? r.step_walls[static_cast<std::size_t>(s)]
+                              : 0;
+      step.wall = std::max(step.wall, wall);
+      rank_walls += wall;
+      TimePs rank_wait = 0;
+      for (const Span& span : r.spans) {
+        if (span.ids.step != s) continue;
+        switch (span.kind) {
+          case SpanKind::kKernel: step.kernel += span.duration(); break;
+          case SpanKind::kWait: rank_wait += span.duration(); break;
+          case SpanKind::kSend:
+            step.comm += span.duration();
+            step.messages += 1;
+            step.message_bytes += span.ids.bytes;
+            break;
+          default: break;
+        }
+      }
+      step.wait += rank_wait;
+      step.mpe_busy += std::max<TimePs>(0, wall - rank_wait);
+    }
+    if (have_spans && rank_walls > 0)
+      step.overlap_efficiency =
+          1.0 - static_cast<double>(step.wait) / static_cast<double>(rank_walls);
+    step.critical_path = analyze_critical_path(run, s).total;
+    all_wait += step.wait;
+    all_walls += rank_walls;
+    comm_flight += step.comm;
+    report.total_wall += step.wall;
+    report.steps.push_back(step);
+  }
+
+  // Per-task rollups over the timestepping phase (init excluded so the
+  // numbers line up with the per-step tables).
+  std::map<std::string, TaskMetrics> tasks;
+  for (const RankObservation& r : run.ranks) {
+    for (const Span& span : r.spans) {
+      if (span.kind != SpanKind::kTask || span.ids.step < 0) continue;
+      // Group by the graph's task name (aggregating patches); fall back to
+      // the span label when no skeleton was recorded.
+      const std::string* name = &span.name;
+      if (span.ids.task >= 0 &&
+          static_cast<std::size_t>(span.ids.task) < r.graph.tasks.size())
+        name = &r.graph.tasks[static_cast<std::size_t>(span.ids.task)].name;
+      TaskMetrics& t = tasks[*name];
+      t.name = *name;
+      t.executions += 1;
+      t.total += span.duration();
+      t.max = std::max(t.max, span.duration());
+    }
+  }
+  for (auto& [name, t] : tasks) report.tasks.push_back(std::move(t));
+
+  std::uint64_t dma_bytes = 0;
+  std::uint64_t sent_bytes = 0;
+  for (const RankObservation& r : run.ranks) {
+    report.kernel_time += r.counters.kernel_time;
+    report.mpe_task_time += r.counters.mpe_task_time;
+    report.comm_time += r.counters.comm_time;
+    report.wait_time += r.counters.wait_time;
+    report.counted_flops += r.counters.counted_flops;
+    dma_bytes += r.counters.dma_bytes_in + r.counters.dma_bytes_out;
+    sent_bytes += r.counters.bytes_sent;
+    report.registry.merge(r.metrics);
+  }
+  if (have_spans && all_walls > 0)
+    report.overlap_efficiency =
+        1.0 - static_cast<double>(all_wait) / static_cast<double>(all_walls);
+  if (report.kernel_time > 0)
+    report.dma_bandwidth_gbs = static_cast<double>(dma_bytes) /
+                               ps_to_seconds(report.kernel_time) * 1e-9;
+  if (comm_flight > 0)
+    report.message_bandwidth_gbs = static_cast<double>(sent_bytes) /
+                                   ps_to_seconds(comm_flight) * 1e-9;
+  return report;
+}
+
+namespace {
+
+void write_histogram(JsonWriter& w, const Distribution& d) {
+  w.begin_object();
+  w.kv("count", static_cast<std::uint64_t>(d.stats.count()));
+  w.kv("sum", d.stats.sum());
+  w.kv("mean", d.stats.mean());
+  w.kv("min", d.stats.min());
+  w.kv("max", d.stats.max());
+  w.kv("stddev", d.stats.stddev());
+  w.kv("p50", d.pct(50));
+  w.kv("p90", d.pct(90));
+  w.kv("p99", d.pct(99));
+  w.end_object();
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& os, const MetricsReport& report) {
+  JsonWriter w(os, /*indent=*/1);
+  w.begin_object();
+  w.kv("nranks", report.nranks);
+  w.kv("timesteps", report.timesteps);
+
+  w.key("totals").begin_object();
+  w.kv("wall_ps", report.total_wall);
+  w.kv("kernel_ps", report.kernel_time);
+  w.kv("mpe_task_ps", report.mpe_task_time);
+  w.kv("comm_ps", report.comm_time);
+  w.kv("wait_ps", report.wait_time);
+  w.kv("overlap_efficiency", report.overlap_efficiency);
+  w.kv("counted_flops", report.counted_flops);
+  w.kv("dma_bandwidth_gbs", report.dma_bandwidth_gbs);
+  w.kv("message_bandwidth_gbs", report.message_bandwidth_gbs);
+  w.end_object();
+
+  w.key("steps").begin_array();
+  for (const StepMetrics& s : report.steps) {
+    w.begin_object();
+    w.kv("step", s.step);
+    w.kv("wall_ps", s.wall);
+    w.kv("kernel_ps", s.kernel);
+    w.kv("comm_ps", s.comm);
+    w.kv("wait_ps", s.wait);
+    w.kv("mpe_busy_ps", s.mpe_busy);
+    w.kv("critical_path_ps", s.critical_path);
+    w.kv("overlap_efficiency", s.overlap_efficiency);
+    w.kv("messages", s.messages);
+    w.kv("message_bytes", s.message_bytes);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("tasks").begin_array();
+  for (const TaskMetrics& t : report.tasks) {
+    w.begin_object();
+    w.kv("name", t.name.c_str());
+    w.kv("executions", t.executions);
+    w.kv("total_ps", t.total);
+    w.kv("mean_ps", t.mean());
+    w.kv("max_ps", t.max);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : report.registry.counters())
+    w.kv(name, value);
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const auto& [name, dist] : report.registry.distributions()) {
+    w.key(name);
+    write_histogram(w, dist);
+  }
+  w.end_object();
+
+  w.end_object();
+  os << '\n';
+}
+
+}  // namespace usw::obs

@@ -1,0 +1,56 @@
+#pragma once
+
+// The observability view of a finished run: per-rank spans plus the plain
+// data needed to interpret them (task-graph skeleton, counters, walls).
+//
+// These are deliberately dumb structs with no dependency on the runtime
+// layer — the controller fills a TaskGraphInfo from its compiled graph and
+// runtime::observe() assembles the RunObservation from a RunResult, so the
+// exporters and analyzers below obs/ never need to see scheduler or
+// controller types (and unit tests can fabricate observations directly).
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hw/perf_counters.h"
+#include "obs/registry.h"
+#include "obs/span.h"
+#include "support/units.h"
+
+namespace usw::obs {
+
+/// Skeleton of one detailed task, enough to rebuild the dependency DAG
+/// that the critical-path analyzer walks.
+struct TaskNodeInfo {
+  std::string name;
+  int patch = -1;
+  std::vector<int> successors;  ///< local detailed-task indices
+  /// External messages as (peer rank, step-independent tag component);
+  /// a send on rank r with key (p, t) matches the recv on rank p with
+  /// key (r, t).
+  std::vector<std::pair<int, int>> recv_keys;
+  std::vector<std::pair<int, int>> send_keys;
+};
+
+struct TaskGraphInfo {
+  std::vector<TaskNodeInfo> tasks;
+};
+
+struct RankObservation {
+  int rank = -1;
+  std::vector<Span> spans;
+  TaskGraphInfo graph;
+  hw::PerfCounters counters;
+  MetricsRegistry metrics;  ///< scheduler-fed samples/counters (may be empty)
+  std::vector<TimePs> step_walls;
+  TimePs init_wall = 0;
+};
+
+struct RunObservation {
+  int nranks = 0;
+  int timesteps = 0;
+  std::vector<RankObservation> ranks;
+};
+
+}  // namespace usw::obs

@@ -1,0 +1,56 @@
+#pragma once
+
+// Named metrics bag filled while the simulation runs.
+//
+// Split out from obs/metrics.h so RankObservation can hold a registry
+// without a header cycle (metrics.h builds reports *from* observations).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/stats.h"
+
+namespace usw::obs {
+
+/// A named sample set: streaming stats plus the raw samples, retained so
+/// end-of-run summaries can answer percentile queries.
+struct Distribution {
+  RunningStats stats;
+  std::vector<double> samples;
+
+  void add(double v) {
+    stats.add(v);
+    samples.push_back(v);
+  }
+  double pct(double p) const { return percentile(samples, p); }
+};
+
+/// Registry of named metrics. Cheap to feed (map lookup + push_back) and
+/// mergeable across ranks; absent names read as zero/empty.
+class MetricsRegistry {
+ public:
+  /// Adds one sample to distribution `name`.
+  void sample(const std::string& name, double v) { dists_[name].add(v); }
+
+  /// Adds `v` to counter `name`.
+  void count(const std::string& name, double v = 1.0) { counters_[name] += v; }
+
+  /// Distribution lookup; nullptr when nothing was sampled under `name`.
+  const Distribution* distribution(const std::string& name) const;
+  /// Counter value; 0 when never counted.
+  double counter(const std::string& name) const;
+
+  const std::map<std::string, Distribution>& distributions() const { return dists_; }
+  const std::map<std::string, double>& counters() const { return counters_; }
+  bool empty() const { return dists_.empty() && counters_.empty(); }
+
+  /// Folds `other` in: counters add, distributions concatenate.
+  void merge(const MetricsRegistry& other);
+
+ private:
+  std::map<std::string, Distribution> dists_;
+  std::map<std::string, double> counters_;
+};
+
+}  // namespace usw::obs

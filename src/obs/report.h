@@ -1,0 +1,21 @@
+#pragma once
+
+// Human-readable observability report (`uswsim --report`).
+//
+// Prints the per-step breakdown, per-task rollup, sampled histograms, and
+// the critical chain of the slowest step as aligned text tables — the
+// terminal-side companion of the JSON exporters.
+
+#include <iosfwd>
+
+#include "obs/metrics.h"
+#include "obs/observation.h"
+
+namespace usw::obs {
+
+/// Prints `report` (and, when `run` carries spans, the critical chain of
+/// the slowest timestep) to `os`.
+void print_report(std::ostream& os, const MetricsReport& report,
+                  const RunObservation& run);
+
+}  // namespace usw::obs

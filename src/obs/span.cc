@@ -1,0 +1,116 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+namespace usw::obs {
+namespace {
+
+using sim::EventKind;
+
+/// Begin/end kinds of each span kind, in SpanKind order.
+struct KindPair {
+  SpanKind span;
+  EventKind begin;
+  EventKind end;
+};
+
+constexpr KindPair kPairs[] = {
+    {SpanKind::kTask, EventKind::kTaskBegin, EventKind::kTaskEnd},
+    {SpanKind::kOffload, EventKind::kOffloadBegin, EventKind::kOffloadEnd},
+    {SpanKind::kKernel, EventKind::kKernelBegin, EventKind::kKernelEnd},
+    {SpanKind::kSend, EventKind::kSendPosted, EventKind::kSendDone},
+    {SpanKind::kRecv, EventKind::kRecvPosted, EventKind::kRecvDone},
+    {SpanKind::kReduce, EventKind::kReduceBegin, EventKind::kReduceEnd},
+    {SpanKind::kWait, EventKind::kWaitBegin, EventKind::kWaitEnd},
+};
+
+/// Matching key: everything that identifies "the same" span at both its
+/// begin and end sites. The label participates so hand-written traces
+/// without ids still pair; `bytes` does not (informational only).
+using Key = std::tuple<int, int, int, int, int, int, int, std::string>;
+
+Key key_of(SpanKind span, const sim::TraceEvent& e) {
+  return Key{static_cast<int>(span), e.ids.step, e.ids.task, e.ids.patch,
+             e.ids.peer, e.ids.tag, e.ids.group, e.label};
+}
+
+}  // namespace
+
+const char* to_string(Lane lane) {
+  switch (lane) {
+    case Lane::kMpe: return "MPE";
+    case Lane::kCpe: return "CPE";
+    case Lane::kMpi: return "MPI";
+  }
+  return "?";
+}
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kTask: return "task";
+    case SpanKind::kOffload: return "offload";
+    case SpanKind::kKernel: return "kernel";
+    case SpanKind::kSend: return "send";
+    case SpanKind::kRecv: return "recv";
+    case SpanKind::kReduce: return "reduce";
+    case SpanKind::kWait: return "wait";
+  }
+  return "?";
+}
+
+Lane lane_of(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kKernel: return Lane::kCpe;
+    case SpanKind::kSend:
+    case SpanKind::kRecv: return Lane::kMpi;
+    default: return Lane::kMpe;
+  }
+}
+
+std::vector<Span> build_spans(const sim::Trace& trace, int rank) {
+  std::vector<Span> spans;
+  // Open spans per key, LIFO within a key (nested same-key spans would be
+  // a recording bug, but LIFO at least keeps them finite).
+  std::map<Key, std::vector<std::size_t>> open;
+  TimePs last = 0;
+
+  for (const sim::TraceEvent& e : trace.events()) {
+    last = std::max(last, e.time);
+    for (const KindPair& p : kPairs) {
+      if (e.kind == p.begin) {
+        Span s;
+        s.begin = s.end = e.time;
+        s.kind = p.span;
+        s.lane = lane_of(p.span);
+        s.rank = rank;
+        s.ids = e.ids;
+        s.name = e.label;
+        open[key_of(p.span, e)].push_back(spans.size());
+        spans.push_back(std::move(s));
+        break;
+      }
+      if (e.kind == p.end) {
+        auto it = open.find(key_of(p.span, e));
+        if (it != open.end() && !it->second.empty()) {
+          Span& s = spans[it->second.back()];
+          it->second.pop_back();
+          s.end = std::max(s.begin, e.time);
+          if (s.ids.bytes == 0) s.ids.bytes = e.ids.bytes;
+        }
+        break;  // unmatched end: tolerated, dropped
+      }
+    }
+  }
+  // Close whatever never ended at the latest stamp seen.
+  for (auto& [key, indices] : open)
+    for (std::size_t i : indices)
+      spans[i].end = std::max(spans[i].begin, last);
+
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Span& a, const Span& b) { return a.begin < b.begin; });
+  return spans;
+}
+
+}  // namespace usw::obs

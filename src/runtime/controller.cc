@@ -11,6 +11,7 @@
 #include "io/archive.h"
 #include "comm/comm.h"
 #include "hw/cost_model.h"
+#include "runtime/observe.h"
 #include "sched/scheduler.h"
 #include "sim/coordinator.h"
 #include "support/error.h"
@@ -156,6 +157,7 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
     sched_config.packed_tiles = config.packed_tiles;
     sched_config.selection = config.selection;
     sched_config.mpe_kernel_threshold_cells = config.mpe_kernel_threshold_cells;
+    if (config.collect_metrics) sched_config.metrics = &out.obs_metrics;
 
     task::CompiledGraph cg_init = init_graph.compile(level, part, rank, config.pattern);
     // Initialization outputs must be allocated with the halo depth the
@@ -164,6 +166,8 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
       oa.ghost = std::max(oa.ghost, step_graph.ghost_alloc_depth(oa.label));
     const task::CompiledGraph cg_step =
         step_graph.compile(level, part, rank, config.pattern);
+    if (config.collect_trace || config.collect_metrics)
+      out.graph_info = graph_info_of(cg_step);
 
     // Opt-in validation: one checker per compiled graph (declarations and
     // the happens-before closure differ between init and step), plus a

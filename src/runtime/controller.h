@@ -15,6 +15,8 @@
 #include "grid/partition.h"
 #include "hw/machine_params.h"
 #include "hw/perf_counters.h"
+#include "obs/observation.h"
+#include "obs/registry.h"
 #include "runtime/application.h"
 #include "runtime/problem.h"
 #include "runtime/variant.h"
@@ -34,6 +36,9 @@ struct RunConfig {
   grid::PartitionPolicy partition = grid::PartitionPolicy::kBlock;
   hw::MachineParams machine = hw::MachineParams::sunway_taihulight();
   bool collect_trace = false;
+  /// Feed per-rank obs::MetricsRegistry instances (message/tile/offload
+  /// size samples) while running; read back via runtime::observe().
+  bool collect_metrics = false;
 
   // Future-work options (paper Sec IX), orthogonal to the variant:
   int cpe_groups = 1;         ///< concurrent kernels per CG (async modes)
@@ -70,6 +75,10 @@ struct RankResult {
   TimePs init_wall = 0;
   sim::Trace trace;
   std::map<std::string, double> metrics;  ///< application verification data
+  obs::MetricsRegistry obs_metrics;  ///< scheduler-fed (collect_metrics)
+  /// Timestep-graph skeleton for the critical-path analyzer (filled when
+  /// collect_trace or collect_metrics is on).
+  obs::TaskGraphInfo graph_info;
   /// Validator findings for this rank (empty unless RunConfig::check is on).
   std::vector<check::Violation> violations;
 };

@@ -1,0 +1,46 @@
+#include "runtime/observe.h"
+
+#include <utility>
+
+#include "obs/span.h"
+
+namespace usw::runtime {
+
+obs::TaskGraphInfo graph_info_of(const task::CompiledGraph& graph) {
+  obs::TaskGraphInfo info;
+  info.tasks.reserve(graph.tasks.size());
+  for (const task::DetailedTask& dt : graph.tasks) {
+    obs::TaskNodeInfo node;
+    node.name = dt.task->name();
+    node.patch = dt.patch_id;
+    node.successors = dt.successors;
+    for (const task::ExtComm& rc : dt.recvs)
+      node.recv_keys.emplace_back(rc.peer_rank, rc.tag_base);
+    for (const task::ExtComm& sc : dt.sends)
+      node.send_keys.emplace_back(sc.peer_rank, sc.tag_base);
+    info.tasks.push_back(std::move(node));
+  }
+  return info;
+}
+
+obs::RunObservation observe(const RunResult& result) {
+  obs::RunObservation run;
+  run.nranks = result.nranks;
+  run.timesteps = result.timesteps;
+  run.ranks.reserve(result.ranks.size());
+  for (std::size_t i = 0; i < result.ranks.size(); ++i) {
+    const RankResult& r = result.ranks[i];
+    obs::RankObservation ro;
+    ro.rank = static_cast<int>(i);
+    ro.spans = obs::build_spans(r.trace, ro.rank);
+    ro.graph = r.graph_info;
+    ro.counters = r.counters;
+    ro.metrics = r.obs_metrics;
+    ro.step_walls = r.step_walls;
+    ro.init_wall = r.init_wall;
+    run.ranks.push_back(std::move(ro));
+  }
+  return run;
+}
+
+}  // namespace usw::runtime

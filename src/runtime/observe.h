@@ -1,0 +1,22 @@
+#pragma once
+
+// Bridge from a finished RunResult to the observability layer: pairs each
+// rank's trace into spans and bundles them with the task-graph skeleton,
+// counters, and walls into an obs::RunObservation that the exporters
+// (chrome trace, metrics JSON, report, critical path) consume.
+
+#include "obs/observation.h"
+#include "runtime/controller.h"
+#include "task/graph.h"
+
+namespace usw::runtime {
+
+/// Extracts the plain-data dependency skeleton the critical-path analyzer
+/// needs from a compiled graph.
+obs::TaskGraphInfo graph_info_of(const task::CompiledGraph& graph);
+
+/// Assembles the observability view of `result`. Spans are present only
+/// when the run collected a trace; counters and walls always are.
+obs::RunObservation observe(const RunResult& result);
+
+}  // namespace usw::runtime

@@ -4,11 +4,22 @@
 #include <limits>
 
 #include "check/check.h"
+#include "obs/registry.h"
 #include "sched/tile_exec.h"
 #include "support/error.h"
 #include "support/log.h"
 
 namespace usw::sched {
+namespace {
+
+/// Label shared by the posted/done events of one message, so the span
+/// builder pairs them and the viewers show which transfer was in flight.
+std::string comm_label(const task::ExtComm& c) {
+  return c.label->name() + " p" + std::to_string(c.from_patch) + "->p" +
+         std::to_string(c.to_patch);
+}
+
+}  // namespace
 
 const char* to_string(SchedulerMode mode) {
   switch (mode) {
@@ -42,6 +53,7 @@ kern::FieldView Scheduler::view_of(var::DataWarehouse& dw,
 StepStats Scheduler::execute(task::TaskContext& ctx) {
   ctx.cost = &comm_.net().cost();
   const TimePs start = comm_.now();
+  step_ = ctx.step;
 
   if (config_.checker != nullptr) {
     config_.checker->begin_step();
@@ -57,6 +69,8 @@ StepStats Scheduler::execute(task::TaskContext& ctx) {
   open_recv_dt_.clear();
   open_recv_comm_.clear();
   open_sends_.clear();
+  open_send_comm_.clear();
+  open_send_dt_.clear();
   done_count_ = 0;
   offloaded_.assign(static_cast<std::size_t>(cluster_.n_groups()), -1);
 
@@ -119,14 +133,15 @@ void Scheduler::post_recvs(task::TaskContext& ctx) {
       open_recvs_.push_back(req);
       open_recv_dt_.push_back(static_cast<int>(i));
       open_recv_comm_.push_back(&rc);
-      trace_.record(comm_.now(), sim::EventKind::kRecvPosted,
-                    rc.label->name() + " p" + std::to_string(rc.from_patch) +
-                        "->p" + std::to_string(rc.to_patch));
+      trace_.record(comm_.now(), sim::EventKind::kRecvPosted, comm_label(rc),
+                    sim::EventIds{step_, static_cast<int>(i), rc.to_patch,
+                                  rc.peer_rank, rc.tag_base, -1, rc.bytes()});
     }
   }
 }
 
-void Scheduler::post_send(task::TaskContext& ctx, const task::ExtComm& sc) {
+void Scheduler::post_send(task::TaskContext& ctx, const task::ExtComm& sc,
+                          int dt_index) {
   var::DataWarehouse& dw = dw_for(ctx, sc.dw);
   const TimePs pack_cost = comm_.net().cost().mpe_pack(sc.bytes());
   comm_.advance(pack_cost);
@@ -140,9 +155,13 @@ void Scheduler::post_send(task::TaskContext& ctx, const task::ExtComm& sc) {
     req = comm_.isend_bytes(sc.peer_rank, sc.tag(ctx.step), sc.bytes());
   }
   open_sends_.push_back(req);
-  trace_.record(comm_.now(), sim::EventKind::kSendPosted,
-                sc.label->name() + " p" + std::to_string(sc.from_patch) + "->p" +
-                    std::to_string(sc.to_patch));
+  open_send_comm_.push_back(&sc);
+  open_send_dt_.push_back(dt_index);
+  if (config_.metrics != nullptr)
+    config_.metrics->sample("msg.send_bytes", static_cast<double>(sc.bytes()));
+  trace_.record(comm_.now(), sim::EventKind::kSendPosted, comm_label(sc),
+                sim::EventIds{step_, dt_index, sc.from_patch, sc.peer_rank,
+                              sc.tag_base, -1, sc.bytes()});
 }
 
 void Scheduler::post_initial_sends(task::TaskContext& ctx) {
@@ -184,7 +203,8 @@ void Scheduler::mpe_part(task::TaskContext& ctx, int dt_index) {
   const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
   ready_.erase(dt_index);
   trace_.record(comm_.now(), sim::EventKind::kTaskBegin,
-                dt.task->name() + " p" + std::to_string(dt.patch_id));
+                dt.task->name() + " p" + std::to_string(dt.patch_id),
+                sim::EventIds{step_, dt_index, dt.patch_id, -1, -1, -1, 0});
   if (config_.checker != nullptr) config_.checker->begin_task(dt_index);
   const TimePs overhead = comm_.net().cost().mpe_task_overhead();
   comm_.advance(overhead);
@@ -266,13 +286,20 @@ void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group)
   args.async_dma = config_.async_dma;
   args.packed_tiles = config_.packed_tiles;
   args.cost_scale = kernel.scale_for(patch);
-  trace_.record(comm_.now(), sim::EventKind::kOffloadBegin,
-                dt.task->name() + " p" + std::to_string(dt.patch_id));
+  if (config_.metrics != nullptr) {
+    config_.metrics->sample(
+        "offload.cells", static_cast<double>(patch.cells().volume()));
+    for (const auto& [cpe, box] :
+         tile_writes(patch.cells(), kernel.tile_shape, cluster_.group_size()))
+      config_.metrics->sample("tile.cells", static_cast<double>(box.volume()));
+  }
+  const std::string label = dt.task->name() + " p" + std::to_string(dt.patch_id);
+  const sim::EventIds ids{step_, dt_index, dt.patch_id, -1, -1, group, 0};
+  trace_.record(comm_.now(), sim::EventKind::kOffloadBegin, label, ids);
   cluster_.spawn(make_tile_job(args), group);
-  trace_.record(comm_.now(), sim::EventKind::kKernelBegin,
-                dt.task->name() + " p" + std::to_string(dt.patch_id));
+  trace_.record(comm_.now(), sim::EventKind::kKernelBegin, label, ids);
   trace_.record(cluster_.completion_time(group), sim::EventKind::kKernelEnd,
-                dt.task->name() + " p" + std::to_string(dt.patch_id));
+                label, ids);
   offloaded_[static_cast<std::size_t>(group)] = dt_index;
   // The functional writes happened eagerly inside spawn(); the MPE-side
   // task scope ends here even though the offload is still in flight.
@@ -322,9 +349,10 @@ void Scheduler::on_finished(task::TaskContext& ctx, int dt_index) {
   st.done = true;
   ++done_count_;
   trace_.record(comm_.now(), sim::EventKind::kTaskEnd,
-                dt.task->name() + " p" + std::to_string(dt.patch_id));
+                dt.task->name() + " p" + std::to_string(dt.patch_id),
+                sim::EventIds{step_, dt_index, dt.patch_id, -1, -1, -1, 0});
   // Sec V-C 3(b)i: post nonblocking sends for the completed task.
-  for (const task::ExtComm& sc : dt.sends) post_send(ctx, sc);
+  for (const task::ExtComm& sc : dt.sends) post_send(ctx, sc, dt_index);
   for (int succ : dt.successors) {
     DtState& ss = state_[static_cast<std::size_t>(succ)];
     USW_ASSERT(ss.pending_preds > 0);
@@ -366,9 +394,11 @@ bool Scheduler::progress_comm(task::TaskContext& ctx) {
       const auto payload = comm_.take_payload(req);
       dw.get(rc.label, rc.to_patch).unpack(rc.region, payload);
     }
-    trace_.record(comm_.now(), sim::EventKind::kRecvDone,
-                  rc.label->name() + " p" + std::to_string(rc.from_patch) +
-                      "->p" + std::to_string(rc.to_patch));
+    if (config_.metrics != nullptr)
+      config_.metrics->sample("msg.recv_bytes", static_cast<double>(rc.bytes()));
+    trace_.record(comm_.now(), sim::EventKind::kRecvDone, comm_label(rc),
+                  sim::EventIds{step_, open_recv_dt_[r], rc.to_patch,
+                                rc.peer_rank, rc.tag_base, -1, rc.bytes()});
     const int dti = open_recv_dt_[r];
     DtState& st = state_[static_cast<std::size_t>(dti)];
     USW_ASSERT(st.pending_recvs > 0);
@@ -379,17 +409,26 @@ bool Scheduler::progress_comm(task::TaskContext& ctx) {
   open_recv_dt_.resize(w);
   open_recv_comm_.resize(w);
 
-  // Completed sends just leave the outstanding set.
+  // Completed sends leave the outstanding set, stamped with the message
+  // they carried so the injection span pairs up.
   std::size_t sw = 0;
   for (std::size_t s = 0; s < open_sends_.size(); ++s) {
     if (comm_.done(open_sends_[s])) {
       any = true;
-      trace_.record(comm_.now(), sim::EventKind::kSendDone, "");
+      const task::ExtComm& sc = *open_send_comm_[s];
+      trace_.record(comm_.now(), sim::EventKind::kSendDone, comm_label(sc),
+                    sim::EventIds{step_, open_send_dt_[s], sc.from_patch,
+                                  sc.peer_rank, sc.tag_base, -1, sc.bytes()});
     } else {
-      open_sends_[sw++] = open_sends_[s];
+      open_sends_[sw] = open_sends_[s];
+      open_send_comm_[sw] = open_send_comm_[s];
+      open_send_dt_[sw] = open_send_dt_[s];
+      ++sw;
     }
   }
   open_sends_.resize(sw);
+  open_send_comm_.resize(sw);
+  open_send_dt_.resize(sw);
   return any;
 }
 
@@ -400,10 +439,12 @@ void Scheduler::idle_wait() {
   all.insert(all.end(), open_sends_.begin(), open_sends_.end());
   wake = std::min(wake, comm_.earliest_known_completion(all));
   const TimePs before = comm_.now();
-  trace_.record(before, sim::EventKind::kWaitBegin, "");
+  trace_.record(before, sim::EventKind::kWaitBegin, "idle",
+                sim::EventIds{step_, -1, -1, -1, -1, -1, 0});
   comm_.wait_until_time(wake);
   counters_.wait_time += comm_.now() - before;
-  trace_.record(comm_.now(), sim::EventKind::kWaitEnd, "");
+  trace_.record(comm_.now(), sim::EventKind::kWaitEnd, "idle",
+                sim::EventIds{step_, -1, -1, -1, -1, -1, 0});
 }
 
 void Scheduler::run_loop_sync(task::TaskContext& ctx) {
@@ -417,11 +458,22 @@ void Scheduler::run_loop_sync(task::TaskContext& ctx) {
           run_stencil_on_mpe(ctx, t);
         } else {
           // Synchronous MPE+CPE: offload, then spin on the flag
-          // (Sec V-C, "synchronous MPE+CPE mode"). Always group 0.
+          // (Sec V-C, "synchronous MPE+CPE mode"). Always group 0. The spin
+          // is recorded as a wait span: it is exactly the MPE idle time the
+          // async scheduler reclaims, and the overlap-efficiency metric
+          // depends on seeing it.
+          const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(t)];
+          const std::string label =
+              dt.task->name() + " p" + std::to_string(dt.patch_id);
           offload_stencil(ctx, t, 0);
+          const TimePs before = comm_.now();
+          trace_.record(before, sim::EventKind::kWaitBegin, "cpe-spin",
+                        sim::EventIds{step_, t, dt.patch_id, -1, -1, 0, 0});
           cluster_.join(0);
-          trace_.record(comm_.now(), sim::EventKind::kOffloadEnd,
-                        graph_.tasks[static_cast<std::size_t>(t)].task->name());
+          trace_.record(comm_.now(), sim::EventKind::kWaitEnd, "cpe-spin",
+                        sim::EventIds{step_, t, dt.patch_id, -1, -1, 0, 0});
+          trace_.record(comm_.now(), sim::EventKind::kOffloadEnd, label,
+                        sim::EventIds{step_, t, dt.patch_id, -1, -1, 0, 0});
           offloaded_[0] = -1;
         }
       } else {
@@ -449,8 +501,11 @@ void Scheduler::run_loop_async(task::TaskContext& ctx) {
       if (offloaded_[static_cast<std::size_t>(g)] >= 0 && cluster_.poll(g)) {
         const int finished = offloaded_[static_cast<std::size_t>(g)];
         offloaded_[static_cast<std::size_t>(g)] = -1;
+        const task::DetailedTask& fdt =
+            graph_.tasks[static_cast<std::size_t>(finished)];
         trace_.record(comm_.now(), sim::EventKind::kOffloadEnd,
-                      graph_.tasks[static_cast<std::size_t>(finished)].task->name());
+                      fdt.task->name() + " p" + std::to_string(fdt.patch_id),
+                      sim::EventIds{step_, finished, fdt.patch_id, -1, -1, g, 0});
         on_finished(ctx, finished);
         progressed = true;
       }
@@ -485,8 +540,20 @@ void Scheduler::run_loop_async(task::TaskContext& ctx) {
 }
 
 void Scheduler::drain_sends() {
-  if (!open_sends_.empty()) comm_.wait_all(open_sends_);
+  if (!open_sends_.empty()) {
+    comm_.wait_all(open_sends_);
+    // The wait completed these sends without passing through
+    // progress_comm(); close their spans here.
+    for (std::size_t s = 0; s < open_sends_.size(); ++s) {
+      const task::ExtComm& sc = *open_send_comm_[s];
+      trace_.record(comm_.now(), sim::EventKind::kSendDone, comm_label(sc),
+                    sim::EventIds{step_, open_send_dt_[s], sc.from_patch,
+                                  sc.peer_rank, sc.tag_base, -1, sc.bytes()});
+    }
+  }
   open_sends_.clear();
+  open_send_comm_.clear();
+  open_send_dt_.clear();
   USW_ASSERT_MSG(open_recvs_.empty(), "timestep ended with unmatched receives");
 }
 
@@ -495,8 +562,8 @@ void Scheduler::finalize_reductions(task::TaskContext& ctx) {
     const task::ReductionInfo& info = graph_.reductions[r];
     USW_ASSERT_MSG(reduction_remaining_[r] == 0,
                    "reduction finalized before all local parts ran");
-    trace_.record(comm_.now(), sim::EventKind::kReduceBegin,
-                  info.task->name());
+    trace_.record(comm_.now(), sim::EventKind::kReduceBegin, info.task->name(),
+                  sim::EventIds{step_, -1, -1, -1, -1, -1, 0});
     double v = reduction_acc_[r];
     switch (info.task->reduce_op()) {
       case task::ReduceOp::kSum: v = comm_.allreduce_sum(v); break;
@@ -505,7 +572,8 @@ void Scheduler::finalize_reductions(task::TaskContext& ctx) {
     }
     counters_.reductions += 1;
     ctx.new_dw->put_reduction(info.task->reduction_result(), v);
-    trace_.record(comm_.now(), sim::EventKind::kReduceEnd, info.task->name());
+    trace_.record(comm_.now(), sim::EventKind::kReduceEnd, info.task->name(),
+                  sim::EventIds{step_, -1, -1, -1, -1, -1, 0});
   }
 }
 

@@ -42,6 +42,10 @@ namespace usw::check {
 class AccessChecker;
 }  // namespace usw::check
 
+namespace usw::obs {
+class MetricsRegistry;
+}  // namespace usw::obs
+
 namespace usw::sched {
 
 enum class SchedulerMode { kMpeOnly, kSyncMpeCpe, kAsyncMpeCpe };
@@ -80,6 +84,11 @@ struct SchedulerConfig {
   /// installs the checker as the warehouses' access observer for the
   /// duration of each step. Null (the default) costs nothing.
   check::AccessChecker* checker = nullptr;
+
+  /// Opt-in metrics sink (src/obs): when set, the scheduler feeds message
+  /// and tile/offload size samples into the registry as it runs. Null (the
+  /// default) costs nothing.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-timestep result for one rank.
@@ -111,7 +120,8 @@ class Scheduler {
   // --- step phases ---
   void allocate_outputs(task::TaskContext& ctx);
   void post_recvs(task::TaskContext& ctx);
-  void post_send(task::TaskContext& ctx, const task::ExtComm& sc);
+  void post_send(task::TaskContext& ctx, const task::ExtComm& sc,
+                 int dt_index = -1);
   void post_initial_sends(task::TaskContext& ctx);
   void run_loop_sync(task::TaskContext& ctx);
   void run_loop_async(task::TaskContext& ctx);
@@ -155,9 +165,12 @@ class Scheduler {
   std::vector<int> open_recv_dt_;          ///< parallel: owning dt index
   std::vector<const task::ExtComm*> open_recv_comm_;  ///< parallel: metadata
   std::vector<comm::RequestId> open_sends_;
+  std::vector<const task::ExtComm*> open_send_comm_;  ///< parallel: metadata
+  std::vector<int> open_send_dt_;          ///< parallel: producing dt or -1
   std::vector<double> reduction_acc_;
   std::vector<int> reduction_remaining_;
   int done_count_ = 0;
+  int step_ = -1;                          ///< current ctx.step (-1 = init)
   std::vector<int> offloaded_;             ///< per CPE group: dt index or -1
 };
 

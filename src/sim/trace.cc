@@ -1,8 +1,7 @@
 #include "sim/trace.h"
 
+#include <algorithm>
 #include <sstream>
-
-#include "support/error.h"
 
 namespace usw::sim {
 
@@ -34,27 +33,55 @@ std::vector<TraceEvent> Trace::filter(EventKind kind) const {
 }
 
 TimePs Trace::total_between(EventKind begin, EventKind end) const {
-  TimePs total = 0;
-  TimePs open = -1;
-  int depth = 0;
+  // Union of the covered intervals via a sorted sweep: +1 marks at begin
+  // stamps, -1 at end stamps. The raw event sequence is not reliable for
+  // stack pairing — kernel completions are recorded ahead of time and
+  // multiple spans of one kind can be in flight at once.
+  std::vector<std::pair<TimePs, int>> marks;
+  TimePs last = 0;
   for (const auto& e : events_) {
-    if (e.kind == begin) {
-      if (depth == 0) open = e.time;
+    last = std::max(last, e.time);
+    if (e.kind == begin) marks.emplace_back(e.time, +1);
+    else if (e.kind == end) marks.emplace_back(e.time, -1);
+  }
+  // Begins sort before ends at equal stamps so zero-length spans and
+  // back-to-back pairs never drive the depth negative spuriously.
+  std::sort(marks.begin(), marks.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second > b.second;
+            });
+  TimePs total = 0;
+  TimePs open = 0;
+  int depth = 0;
+  for (const auto& [time, delta] : marks) {
+    if (delta > 0) {
+      if (depth == 0) open = time;
       ++depth;
-    } else if (e.kind == end) {
-      USW_ASSERT_MSG(depth > 0, "trace end event without matching begin");
+    } else if (depth > 0) {  // unmatched ends are ignored
       --depth;
-      if (depth == 0) total += e.time - open;
+      if (depth == 0) total += time - open;
     }
   }
-  USW_ASSERT_MSG(depth == 0, "trace begin event without matching end");
+  if (depth > 0) total += std::max<TimePs>(0, last - open);
   return total;
 }
 
 std::string Trace::dump() const {
   std::ostringstream os;
-  for (const auto& e : events_)
-    os << format_duration(e.time) << "  " << to_string(e.kind) << "  " << e.label << '\n';
+  for (const auto& e : events_) {
+    os << format_duration(e.time) << "  " << to_string(e.kind) << "  "
+       << e.label;
+    const EventIds& i = e.ids;
+    os << "  [s" << i.step;
+    if (i.task >= 0) os << " t" << i.task;
+    if (i.patch >= 0) os << " p" << i.patch;
+    if (i.peer >= 0) os << " peer" << i.peer;
+    if (i.tag >= 0) os << " tag" << i.tag;
+    if (i.group >= 0) os << " g" << i.group;
+    if (i.bytes > 0) os << ' ' << i.bytes << 'B';
+    os << "]\n";
+  }
   return os.str();
 }
 

@@ -5,8 +5,10 @@
 // Schedulers record begin/end events for kernels, MPI operations, and
 // scheduling decisions. Tests use the trace to verify *behaviour* — e.g.
 // that the asynchronous scheduler really does progress communication while
-// a CPE kernel is in flight — and benchmark drivers can dump it for
-// inspection. Recording is O(1) per event and disabled by default.
+// a CPE kernel is in flight — and the observability layer (src/obs) pairs
+// the events into structured spans for Chrome-trace export, per-step
+// metrics, and critical-path analysis. Recording is O(1) per event and
+// disabled by default.
 
 #include <string>
 #include <vector>
@@ -34,10 +36,25 @@ enum class EventKind {
 
 const char* to_string(EventKind kind);
 
+/// Structured identity attached to an event, so exported spans are
+/// machine-matchable instead of only carrying a display string. Fields
+/// left at their defaults mean "not applicable"; `step` -1 doubles as the
+/// initialization timestep, which is how the scheduler labels it.
+struct EventIds {
+  int step = -1;   ///< timestep (-1 = initialization / unset)
+  int task = -1;   ///< detailed-task index in the rank's compiled graph
+  int patch = -1;  ///< patch id
+  int peer = -1;   ///< remote rank (comm events)
+  int tag = -1;    ///< step-independent tag component (comm events)
+  int group = -1;  ///< CPE group (offload/kernel events)
+  std::uint64_t bytes = 0;  ///< message / staged-data volume
+};
+
 struct TraceEvent {
   TimePs time = 0;
   EventKind kind = EventKind::kTaskBegin;
   std::string label;
+  EventIds ids;
 };
 
 class Trace {
@@ -46,20 +63,24 @@ class Trace {
   void enable(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
-  void record(TimePs time, EventKind kind, std::string label) {
+  void record(TimePs time, EventKind kind, std::string label,
+              EventIds ids = {}) {
     if (!enabled_) return;
-    events_.push_back(TraceEvent{time, kind, std::move(label)});
+    events_.push_back(TraceEvent{time, kind, std::move(label), ids});
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   void clear() { events_.clear(); }
 
-  /// Events of one kind, in time order (events are appended in time order
-  /// because each rank's virtual clock is monotone).
+  /// Events of one kind, in recorded order.
   std::vector<TraceEvent> filter(EventKind kind) const;
 
-  /// Total virtual time spent between matching begin/end pairs of the given
-  /// kinds (e.g. kKernelBegin/kKernelEnd).
+  /// Total virtual time covered by spans of the given begin/end kinds: the
+  /// union of the implied intervals. Tolerates interleaved spans (two
+  /// in-flight offloads), events recorded out of time order (kernel
+  /// completions are stamped at their future completion time), and
+  /// unbalanced pairs (an unmatched begin is closed at the last event
+  /// time; an unmatched end is ignored).
   TimePs total_between(EventKind begin, EventKind end) const;
 
   /// Renders one line per event, for debugging.

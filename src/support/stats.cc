@@ -49,7 +49,7 @@ double RunningStats::variance() const {
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double percentile(std::vector<double> samples, double p) {
-  USW_ASSERT_MSG(!samples.empty(), "percentile of empty sample set");
+  if (samples.empty()) return 0.0;
   USW_ASSERT(p >= 0.0 && p <= 100.0);
   std::sort(samples.begin(), samples.end());
   if (samples.size() == 1) return samples.front();

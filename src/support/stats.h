@@ -34,6 +34,8 @@ class RunningStats {
 };
 
 /// Percentile of a sample set (linear interpolation, p in [0,100]).
+/// Returns 0 for an empty sample set, so possibly-empty distributions can
+/// be summarized without a guard at every call site.
 /// Copies and sorts; intended for end-of-run summaries, not hot paths.
 double percentile(std::vector<double> samples, double p);
 

@@ -172,5 +172,54 @@ TEST(Trace, EventKindNames) {
   EXPECT_STREQ(to_string(EventKind::kReduceEnd), "reduce_end");
 }
 
+TEST(Trace, TotalBetweenOverlappingSpans) {
+  // Two kernels in flight at once (cpe_groups > 1): [10,50] and [30,70]
+  // overlap, so the busy time is the union [10,70] = 60, not the sum 80.
+  Trace t;
+  t.enable(true);
+  t.record(10, EventKind::kKernelBegin, "a");
+  t.record(30, EventKind::kKernelBegin, "b");
+  t.record(50, EventKind::kKernelEnd, "a");
+  t.record(70, EventKind::kKernelEnd, "b");
+  EXPECT_EQ(t.total_between(EventKind::kKernelBegin, EventKind::kKernelEnd), 60);
+}
+
+TEST(Trace, TotalBetweenOutOfOrderRecording) {
+  // The async scheduler stamps a kernel's end at its future completion time
+  // before recording later begins; totals must not depend on record order.
+  Trace t;
+  t.enable(true);
+  t.record(10, EventKind::kKernelBegin, "a");
+  t.record(90, EventKind::kKernelEnd, "a");  // recorded ahead of time
+  t.record(20, EventKind::kKernelBegin, "b");
+  t.record(40, EventKind::kKernelEnd, "b");
+  EXPECT_EQ(t.total_between(EventKind::kKernelBegin, EventKind::kKernelEnd), 80);
+}
+
+TEST(Trace, TotalBetweenUnmatchedEvents) {
+  // A stray end before any begin is ignored; a begin that never ends is
+  // closed at the trace's last stamp.
+  Trace t;
+  t.enable(true);
+  t.record(5, EventKind::kWaitEnd, "stray");
+  t.record(10, EventKind::kWaitBegin, "w");
+  t.record(30, EventKind::kKernelBegin, "k");  // last stamp = 30
+  EXPECT_EQ(t.total_between(EventKind::kWaitBegin, EventKind::kWaitEnd), 20);
+}
+
+TEST(Trace, RecordsStructuredIds) {
+  Trace t;
+  t.enable(true);
+  t.record(10, EventKind::kSendPosted, "msg", EventIds{2, 7, 1, 3, 42, -1, 512});
+  ASSERT_EQ(t.events().size(), 1u);
+  const TraceEvent& e = t.events()[0];
+  EXPECT_EQ(e.ids.step, 2);
+  EXPECT_EQ(e.ids.task, 7);
+  EXPECT_EQ(e.ids.peer, 3);
+  EXPECT_EQ(e.ids.tag, 42);
+  EXPECT_EQ(e.ids.bytes, 512u);
+  EXPECT_NE(t.dump().find("peer3"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace usw::sim

@@ -92,6 +92,49 @@ TEST(Percentile, KnownValues) {
 
 TEST(Percentile, SingleElement) {
   EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
+}
+
+TEST(Percentile, EmptyIsZero) {
+  // End-of-run summaries query distributions that may never have been fed;
+  // an empty sample set reads as 0 instead of dying.
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 100), 0.0);
+}
+
+TEST(Percentile, TwoElementInterpolation) {
+  std::vector<double> xs = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 90), 19.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 20.0);
+}
+
+TEST(RunningStats, MergeIntoEmpty) {
+  RunningStats a, b;
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(RunningStats, MergeDisjointRanges) {
+  // Min/max must come from the right side; variance must match the pooled
+  // computation, not the sum of the parts.
+  RunningStats lo, hi, all;
+  for (double v : {1.0, 2.0}) { lo.add(v); all.add(v); }
+  for (double v : {100.0, 101.0, 102.0}) { hi.add(v); all.add(v); }
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), all.count());
+  EXPECT_DOUBLE_EQ(lo.min(), 1.0);
+  EXPECT_DOUBLE_EQ(lo.max(), 102.0);
+  EXPECT_DOUBLE_EQ(lo.mean(), all.mean());
+  EXPECT_NEAR(lo.variance(), all.variance(), 1e-9);
 }
 
 TEST(TextTable, AlignsAndCounts) {
