@@ -23,6 +23,8 @@ const CaseResult& Sweep::run(const runtime::ProblemSpec& problem,
   config.storage = var::StorageMode::kTimingOnly;
   config.collect_trace = observe_;
   config.collect_metrics = observe_;
+  config.backend = backend_;
+  config.backend_threads = backend_threads_;
 
   apps::burgers::BurgersApp app;
   const runtime::RunResult r = runtime::run_simulation(config, app);

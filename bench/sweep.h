@@ -48,6 +48,14 @@ class Sweep {
   /// observability fields of CaseResult (at some simulation-memory cost).
   void set_observe(bool on) { observe_ = on; }
 
+  /// Selects the CPE execution backend for subsequent runs. Results are
+  /// backend-independent (identical virtual times); kThreads only changes
+  /// how long the bench takes in host wall-clock.
+  void set_backend(athread::Backend backend, int backend_threads = 0) {
+    backend_ = backend;
+    backend_threads_ = backend_threads;
+  }
+
   /// Runs (or returns the cached) case.
   const CaseResult& run(const runtime::ProblemSpec& problem,
                         const runtime::Variant& variant, int ranks);
@@ -61,6 +69,8 @@ class Sweep {
  private:
   int timesteps_;
   bool observe_ = false;
+  athread::Backend backend_ = athread::Backend::kSerial;
+  int backend_threads_ = 0;
   std::map<CaseKey, CaseResult> cache_;
 };
 

@@ -55,6 +55,11 @@ void print_help() {
       "  --ranks=N                     simulated core-groups (default 4)\n"
       "  --steps=N                     timesteps (default 10)\n"
       "  --variant=NAME                Table IV variant (default acc_simd.async)\n"
+      "  --backend=serial|threads      where emulated CPE bodies run\n"
+      "                                (threads = real worker threads; same\n"
+      "                                fields and virtual times, less wall-clock)\n"
+      "  --backend-threads=N           pool size for --backend=threads\n"
+      "                                (default: one per host core, capped)\n"
       "  --timing-only                 skip field allocation (big problems)\n"
       "  --partition=block|roundrobin|cost\n"
       "  --cpe-groups=N  --async-dma  --packed-tiles\n"
@@ -103,6 +108,8 @@ int main(int argc, char** argv) {
           parse_triple(opts.get("patch", "16x16x16"), "--patch"));
     }
     config.variant = runtime::variant_by_name(opts.get("variant", "acc_simd.async"));
+    config.backend = athread::backend_from_string(opts.get("backend", "serial"));
+    config.backend_threads = static_cast<int>(opts.get_int("backend-threads", 0));
     config.nranks = static_cast<int>(opts.get_int("ranks", 4));
     config.timesteps = static_cast<int>(opts.get_int("steps", 10));
     config.storage = opts.get_bool("timing-only", false)
@@ -150,11 +157,13 @@ int main(int argc, char** argv) {
       throw ConfigError("unknown --app '" + app_name + "' (burgers|heat|advect)");
     }
 
-    std::printf("uswsim: %s on %s (%d patches of %s), %d CGs, %d steps, %s\n",
+    std::printf("uswsim: %s on %s (%d patches of %s), %d CGs, %d steps, %s, "
+                "%s backend\n",
                 app->name().c_str(), config.problem.grid_size().to_string().c_str(),
                 config.problem.num_patches(),
                 config.problem.patch_size.to_string().c_str(), config.nranks,
-                config.timesteps, config.variant.name.c_str());
+                config.timesteps, config.variant.name.c_str(),
+                athread::to_string(config.backend));
 
     const runtime::RunResult result = runtime::run_simulation(config, *app);
 

@@ -2,10 +2,25 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "support/error.h"
 
 namespace usw::athread {
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kSerial: return "serial";
+    case Backend::kThreads: return "threads";
+  }
+  return "?";
+}
+
+Backend backend_from_string(const std::string& name) {
+  if (name == "serial") return Backend::kSerial;
+  if (name == "threads") return Backend::kThreads;
+  throw ConfigError("unknown backend '" + name + "' (expected serial|threads)");
+}
 
 void CpeContext::get(const void* src, void* dst, std::size_t bytes,
                      bool strided) {
@@ -47,53 +62,145 @@ void CpeContext::count_compute(std::uint64_t cells, const hw::KernelCost& kc) {
 }
 
 CpeCluster::CpeCluster(const hw::CostModel& cost, sim::Coordinator& coord,
-                       int rank, hw::PerfCounters* counters, int n_groups)
+                       int rank, hw::PerfCounters* counters, int n_groups,
+                       Backend backend, WorkerPool* pool)
     : cost_(cost), coord_(coord), rank_(rank), counters_(counters),
-      ldm_(cost.params().ldm_bytes) {
+      backend_(backend), ldm_(cost.params().ldm_bytes) {
   const int cpes = cost.params().cpes_per_cg;
   if (n_groups < 1 || cpes % n_groups != 0)
     throw ConfigError("CPE group count " + std::to_string(n_groups) +
                       " must divide the CPE count " + std::to_string(cpes));
-  groups_.resize(static_cast<std::size_t>(n_groups));
-  for (Group& g : groups_)
-    g.cpe_done.assign(static_cast<std::size_t>(cpes / n_groups), 0);
+  groups_.reserve(static_cast<std::size_t>(n_groups));
+  for (int g = 0; g < n_groups; ++g) {
+    groups_.push_back(std::make_unique<Group>());
+    groups_.back()->cpe_done.assign(
+        static_cast<std::size_t>(cpes / n_groups), 0);
+  }
+  if (backend_ == Backend::kThreads) {
+    if (pool == nullptr) {
+      owned_pool_ = std::make_unique<WorkerPool>();
+      pool = owned_pool_.get();
+    }
+    pool_ = pool;
+    // Every pool worker gets an exclusive LDM model: CPE bodies running
+    // concurrently must not share a bump allocator.
+    worker_ldms_.reserve(static_cast<std::size_t>(pool_->size()));
+    for (int w = 0; w < pool_->size(); ++w)
+      worker_ldms_.emplace_back(cost.params().ldm_bytes);
+  }
+}
+
+CpeCluster::~CpeCluster() {
+  if (backend_ != Backend::kThreads) return;
+  // Wait (host wall-clock) for any still-dispatched bodies: they reference
+  // this cluster's group slots. Their virtual results are dropped.
+  for (const std::unique_ptr<Group>& g : groups_) {
+    if (g->published) continue;
+    std::unique_lock<std::mutex> lk(sync_mu_);
+    sync_cv_.wait(lk, [this, &g] {
+      return g->faaw.load(std::memory_order_acquire) == group_size();
+    });
+  }
+}
+
+void CpeCluster::run_cpe(Group& group, int cpe, hw::Ldm& ldm) const {
+  ldm.reset();
+  CpeContext ctx(cpe, group_size(), n_cpes(), ldm, cost_,
+                 &group.cpe_counters[static_cast<std::size_t>(cpe)]);
+  group.job(ctx);
+  group.cpe_busy[static_cast<std::size_t>(cpe)] = ctx.busy();
 }
 
 void CpeCluster::spawn(const CpeJob& job, int g) {
-  Group& group = groups_.at(static_cast<std::size_t>(g));
+  Group& group = this->group(g);
   USW_ASSERT_MSG(!group.in_flight, "spawn while an offload is already in flight");
+  USW_ASSERT_MSG(group.published, "spawn before the previous offload published");
   coord_.advance(rank_, cost_.offload_launch());
   group.spawn_time = coord_.now(rank_);
   group.completion = group.spawn_time;
   const int n = group_size();
-  for (int id = 0; id < n; ++id) {
-    ldm_.reset();
-    CpeContext ctx(id, n, n_cpes(), ldm_, cost_, counters_);
-    job(ctx);
-    group.cpe_done[static_cast<std::size_t>(id)] = group.spawn_time + ctx.busy();
-    group.completion =
-        std::max(group.completion, group.cpe_done[static_cast<std::size_t>(id)]);
+  group.job = job;
+  group.cpe_busy.assign(static_cast<std::size_t>(n), 0);
+  group.cpe_counters.assign(static_cast<std::size_t>(n), hw::PerfCounters{});
+  group.cpe_errors.assign(static_cast<std::size_t>(n), nullptr);
+  group.faaw.store(0, std::memory_order_relaxed);
+  if (backend_ == Backend::kSerial) {
+    // A throwing body (e.g. LDM overflow) propagates out of spawn() and
+    // leaves the group idle, exactly as before backends existed.
+    for (int id = 0; id < n; ++id) run_cpe(group, id, ldm_);
+    group.in_flight = true;
+    group.published = false;
+    publish_group(group);
+  } else {
+    group.in_flight = true;
+    group.published = false;
+    for (int id = 0; id < n; ++id) {
+      pool_->submit([this, &group, id](int worker) {
+        try {
+          run_cpe(group, id, worker_ldms_[static_cast<std::size_t>(worker)]);
+        } catch (...) {
+          group.cpe_errors[static_cast<std::size_t>(id)] =
+              std::current_exception();
+        }
+        // The real faaw: bump the group's completion counter in shared
+        // memory, then wake an MPE blocked in sync_group(). The release
+        // fetch-add orders this CPE's slot writes before any MPE read
+        // that observes the full count.
+        group.faaw.fetch_add(1, std::memory_order_release);
+        std::lock_guard<std::mutex> lk(sync_mu_);
+        sync_cv_.notify_all();
+      });
+    }
   }
-  group.in_flight = true;
+}
+
+void CpeCluster::sync_group(Group& group) const {
+  if (group.published) return;
+  {
+    std::unique_lock<std::mutex> lk(sync_mu_);
+    sync_cv_.wait(lk, [this, &group] {
+      return group.faaw.load(std::memory_order_acquire) == group_size();
+    });
+  }
+  publish_group(group);
+}
+
+void CpeCluster::publish_group(Group& group) const {
+  group.published = true;
+  for (std::size_t id = 0; id < group.cpe_errors.size(); ++id) {
+    if (group.cpe_errors[id] != nullptr) {
+      // Deterministic error surface: the lowest-id failing CPE wins, as it
+      // would have in serial execution. The offload is abandoned.
+      group.in_flight = false;
+      std::rethrow_exception(group.cpe_errors[id]);
+    }
+  }
+  // Fold the per-CPE slots in CPE-id order so the merged counters (double
+  // accumulation included) are bit-identical across backends.
+  for (std::size_t id = 0; id < group.cpe_busy.size(); ++id) {
+    group.cpe_done[id] = group.spawn_time + group.cpe_busy[id];
+    group.completion = std::max(group.completion, group.cpe_done[id]);
+  }
   if (counters_ != nullptr) {
+    for (const hw::PerfCounters& slot : group.cpe_counters)
+      counters_->merge(slot);
     counters_->kernels_offloaded += 1;
     counters_->kernel_time += group.completion - group.spawn_time;
   }
 }
 
-bool CpeCluster::in_flight(int g) const {
-  return groups_.at(static_cast<std::size_t>(g)).in_flight;
-}
+bool CpeCluster::in_flight(int g) const { return group(g).in_flight; }
 
 bool CpeCluster::any_in_flight() const {
-  for (const Group& g : groups_)
-    if (g.in_flight) return true;
+  for (const std::unique_ptr<Group>& g : groups_)
+    if (g->in_flight) return true;
   return false;
 }
 
 bool CpeCluster::poll(int g) {
-  Group& group = groups_.at(static_cast<std::size_t>(g));
+  Group& group = this->group(g);
   USW_ASSERT_MSG(group.in_flight, "poll with no offload in flight");
+  sync_group(group);
   coord_.advance(rank_, cost_.flag_poll());
   if (coord_.now(rank_) >= group.completion) {
     group.in_flight = false;
@@ -103,7 +210,8 @@ bool CpeCluster::poll(int g) {
 }
 
 int CpeCluster::flag(int g) const {
-  const Group& group = groups_.at(static_cast<std::size_t>(g));
+  Group& group = this->group(g);
+  if (group.in_flight) sync_group(group);
   const TimePs now = coord_.now(rank_);
   int count = 0;
   for (TimePs done : group.cpe_done)
@@ -112,21 +220,26 @@ int CpeCluster::flag(int g) const {
 }
 
 TimePs CpeCluster::completion_time(int g) const {
-  const Group& group = groups_.at(static_cast<std::size_t>(g));
+  Group& group = this->group(g);
   USW_ASSERT_MSG(group.in_flight, "completion_time with no offload in flight");
+  sync_group(group);
   return group.completion;
 }
 
 TimePs CpeCluster::earliest_completion() const {
   TimePs earliest = sim::kNever;
-  for (const Group& g : groups_)
-    if (g.in_flight) earliest = std::min(earliest, g.completion);
+  for (const std::unique_ptr<Group>& g : groups_) {
+    if (!g->in_flight) continue;
+    sync_group(*g);
+    earliest = std::min(earliest, g->completion);
+  }
   return earliest;
 }
 
 void CpeCluster::join(int g) {
-  Group& group = groups_.at(static_cast<std::size_t>(g));
+  Group& group = this->group(g);
   USW_ASSERT_MSG(group.in_flight, "join with no offload in flight");
+  sync_group(group);
   const TimePs before = coord_.now(rank_);
   coord_.wait_until(rank_, group.completion);
   if (counters_ != nullptr) counters_->wait_time += coord_.now(rank_) - before;

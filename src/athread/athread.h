@@ -10,13 +10,36 @@
 // what makes the paper's asynchronous scheduler possible.
 //
 // This emulation keeps the exact protocol but swaps the backend:
-//   * functionally, each CPE's kernel body runs on the host thread at spawn
-//     time, staging real data through a real capacity-checked Ldm buffer —
-//     so numerics, LDM overflow, and tile logic are all genuinely exercised;
+//   * functionally, each CPE's kernel body runs on the host, staging real
+//     data through a real capacity-checked Ldm buffer — so numerics, LDM
+//     overflow, and tile logic are all genuinely exercised;
 //   * temporally, each CPE accumulates virtual busy time (DMA + compute via
 //     the CostModel) and the cluster's completion time is
 //     spawn_time + max over CPEs — the MPE observes the flag set only once
 //     its virtual clock passes that point.
+//
+// Two execution backends decide *where* the CPE bodies run:
+//
+//   Backend::kSerial  - every body runs on the MPE's host thread at spawn
+//                       time, in CPE-id order. Deterministic, zero host
+//                       synchronization; wall-clock is serial.
+//   Backend::kThreads - bodies are dispatched across a persistent
+//                       WorkerPool of real host threads; spawn() returns
+//                       immediately and each CPE increments the group's
+//                       completion counter with a real std::atomic
+//                       fetch-add (the emulated faaw) when its body ends.
+//                       Wall-clock scales with host cores.
+//
+// Both backends produce bit-identical field data and identical virtual-time
+// results: virtual time stays the model, threads only buy wall-clock. The
+// invariant holds because (a) per-CPE write-sets are disjoint (the tile
+// checker enforces it), (b) each CPE accumulates busy time and performance
+// counters into private per-CPE slots, and (c) the cluster folds those
+// slots into the shared state in CPE-id order, on the MPE thread, after the
+// real faaw counter reaches the group size. Any MPE-side query that needs
+// the offload's virtual results (poll, flag, join, completion_time,
+// earliest_completion) first blocks — in host wall-clock only — until the
+// workers have published.
 //
 // The cluster can be partitioned into 1..64 equal CPE *groups* (the paper's
 // future-work item "group CPEs and schedule different patches to different
@@ -25,11 +48,20 @@
 //
 // Because results are materialized eagerly but are virtually "not yet
 // computed" until the flag is set, callers must not consume results before
-// poll()/join() reports completion; the schedulers respect this.
+// poll()/join() reports completion; the schedulers respect this. Under
+// Backend::kThreads the kernel body additionally runs concurrently with
+// the MPE thread and with the other CPEs of its offload, so bodies must be
+// re-entrant and must not touch MPE-owned state.
 
+#include <atomic>
+#include <condition_variable>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "athread/worker_pool.h"
 #include "hw/cost_model.h"
 #include "hw/ldm.h"
 #include "hw/perf_counters.h"
@@ -37,6 +69,17 @@
 #include "support/units.h"
 
 namespace usw::athread {
+
+/// Where the emulated CPE kernel bodies execute.
+enum class Backend {
+  kSerial,   ///< on the MPE host thread, in CPE-id order (default)
+  kThreads,  ///< across a WorkerPool of real host threads
+};
+
+const char* to_string(Backend backend);
+
+/// Parses "serial" / "threads"; throws ConfigError otherwise.
+Backend backend_from_string(const std::string& name);
 
 /// Per-CPE execution context handed to the kernel body.
 class CpeContext {
@@ -97,11 +140,14 @@ class CpeContext {
   int cluster_cpes_;  ///< DMA contention is against the whole cluster
   hw::Ldm& ldm_;
   const hw::CostModel& cost_;
-  hw::PerfCounters* counters_;
+  hw::PerfCounters* counters_;  ///< private per-CPE slot, never shared
   TimePs busy_ = 0;
 };
 
-/// Kernel body run once per CPE of the target group.
+/// Kernel body run once per CPE of the target group. Under
+/// Backend::kThreads the same callable is invoked concurrently from
+/// multiple host threads, so it must be safe to call re-entrantly and its
+/// per-CPE write-sets must be disjoint.
 using CpeJob = std::function<void(CpeContext&)>;
 
 /// The 64-CPE cluster of one core-group, driven by one rank (its MPE),
@@ -110,16 +156,28 @@ class CpeCluster {
  public:
   /// `n_groups` must divide the CPE count; each group owns
   /// cpes_per_cg / n_groups CPEs and an independent completion flag.
+  /// Under Backend::kThreads the cluster dispatches CPE bodies onto
+  /// `pool`; when `pool` is null it creates a private one.
   CpeCluster(const hw::CostModel& cost, sim::Coordinator& coord, int rank,
-             hw::PerfCounters* counters = nullptr, int n_groups = 1);
+             hw::PerfCounters* counters = nullptr, int n_groups = 1,
+             Backend backend = Backend::kSerial, WorkerPool* pool = nullptr);
+
+  /// Blocks until every dispatched CPE body has finished; in-flight
+  /// offloads' virtual results are discarded (nobody is left to ask).
+  ~CpeCluster();
+
+  CpeCluster(const CpeCluster&) = delete;
+  CpeCluster& operator=(const CpeCluster&) = delete;
 
   int n_cpes() const { return cost_.params().cpes_per_cg; }
   int n_groups() const { return static_cast<int>(groups_.size()); }
   int group_size() const { return n_cpes() / n_groups(); }
+  Backend backend() const { return backend_; }
 
-  /// Offloads `job` to group `g`. Charges offload_launch of MPE time,
-  /// executes the per-CPE bodies functionally, and records the virtual
-  /// completion time. The group must be idle.
+  /// Offloads `job` to group `g`. Charges offload_launch of MPE time and
+  /// records the spawn time. Backend::kSerial executes the per-CPE bodies
+  /// before returning; Backend::kThreads dispatches them onto the worker
+  /// pool and returns immediately. The group must be idle.
   void spawn(const CpeJob& job, int g = 0);
 
   /// True between spawn() and the flag being observed complete.
@@ -145,18 +203,51 @@ class CpeCluster {
 
  private:
   struct Group {
+    // MPE-owned protocol state (never touched by workers).
     bool in_flight = false;
+    bool published = true;  ///< virtual results folded into the state below
     TimePs spawn_time = 0;
     TimePs completion = 0;
     std::vector<TimePs> cpe_done;
+    CpeJob job;  ///< shared copy the workers invoke (set before dispatch)
+
+    // Per-CPE slots: each worker writes exactly its own index, then bumps
+    // `faaw`. The MPE reads them only after faaw == group size, so the
+    // fetch-add release sequence orders every slot write before the read.
+    std::vector<TimePs> cpe_busy;
+    std::vector<hw::PerfCounters> cpe_counters;
+    std::vector<std::exception_ptr> cpe_errors;
+
+    /// The real faaw: CPEs atomically increment it on completion; the MPE
+    /// blocks on it before touching any virtual result of the offload.
+    std::atomic<int> faaw{0};
   };
+
+  Group& group(int g) const {
+    return *groups_.at(static_cast<std::size_t>(g));
+  }
+  /// Runs one CPE body with a private context staged out of `ldm`.
+  void run_cpe(Group& group, int cpe, hw::Ldm& ldm) const;
+  /// Blocks until every CPE of `group` has faaw'd, then publishes once.
+  void sync_group(Group& group) const;
+  /// Folds per-CPE busy times and counters into the group's virtual
+  /// completion state and the shared PerfCounters, in CPE-id order.
+  void publish_group(Group& group) const;
 
   const hw::CostModel& cost_;
   sim::Coordinator& coord_;
   int rank_;
   hw::PerfCounters* counters_;
-  hw::Ldm ldm_;
-  std::vector<Group> groups_;
+  Backend backend_;
+  hw::Ldm ldm_;                       ///< kSerial: shared, reset per CPE
+  std::vector<hw::Ldm> worker_ldms_;  ///< kThreads: one per pool worker
+  std::vector<std::unique_ptr<Group>> groups_;
+  mutable std::mutex sync_mu_;
+  mutable std::condition_variable sync_cv_;
+  WorkerPool* pool_ = nullptr;  ///< kThreads dispatch target
+  // Declared last so a private pool is torn down (joining its workers)
+  // before the groups those workers reference.
+  std::unique_ptr<WorkerPool> owned_pool_;
 };
 
 }  // namespace usw::athread

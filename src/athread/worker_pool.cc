@@ -1,0 +1,54 @@
+#include "athread/worker_pool.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace usw::athread {
+
+WorkerPool::WorkerPool(int n_threads) {
+  if (n_threads < 0) throw ConfigError("worker pool size must be >= 0");
+  const int n = n_threads > 0 ? n_threads : default_size();
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w)
+    threads_.emplace_back([this, w] { worker_main(w); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::submit(std::function<void(int)> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    USW_ASSERT_MSG(!stop_, "submit to a stopped worker pool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+int WorkerPool::default_size() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return std::clamp(static_cast<int>(hc == 0 ? 4 : hc), 1, 16);
+}
+
+void WorkerPool::worker_main(int worker) {
+  for (;;) {
+    std::function<void(int)> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task(worker);
+  }
+}
+
+}  // namespace usw::athread

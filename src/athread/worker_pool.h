@@ -1,0 +1,59 @@
+#pragma once
+
+// A persistent pool of host worker threads for the real-threads CPE
+// backend (Backend::kThreads in athread.h).
+//
+// One pool serves every CpeCluster of a simulation: clusters enqueue one
+// task per CPE of an offload, and the pool's threads drain the queue in
+// submission order. Tasks receive the index of the worker executing them
+// (0..size()-1) so callers can hand each worker exclusive scratch state —
+// CpeCluster uses it to give every worker its own 64 KB Ldm model.
+//
+// The pool is intentionally dumb: no stealing, no priorities, FIFO only.
+// Determinism of the simulation does not depend on execution order (CPE
+// write-sets are disjoint and all virtual-time results are folded in CPE-id
+// order by the cluster), so the queue only has to be correct, not clever.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace usw::athread {
+
+class WorkerPool {
+ public:
+  /// Starts `n_threads` workers; 0 picks default_size().
+  explicit WorkerPool(int n_threads = 0);
+
+  /// Drains nothing: outstanding tasks still run, then workers exit.
+  /// Callers (CpeCluster) must not destroy state referenced by queued
+  /// tasks before those tasks complete.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues `task`; some worker eventually runs task(worker_index).
+  void submit(std::function<void(int)> task);
+
+  /// Host concurrency clamped to [1, 16]: beyond one thread per core the
+  /// CPE bodies only contend, and 16 already covers every offload shape
+  /// the schedulers produce.
+  static int default_size();
+
+ private:
+  void worker_main(int worker);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void(int)>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace usw::athread

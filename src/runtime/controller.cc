@@ -24,6 +24,8 @@ void RunConfig::validate() const {
   if (nranks <= 0) throw ConfigError("nranks must be positive");
   if (cpe_groups < 1 || machine.cpes_per_cg % cpe_groups != 0)
     throw ConfigError("cpe_groups must divide the CPE count");
+  if (backend_threads < 0)
+    throw ConfigError("backend_threads must be >= 0 (0 = auto)");
   if (nranks > problem.num_patches())
     throw ConfigError("more ranks than patches (one patch is scheduled on one "
                       "CG at a time, Sec VII-A)");
@@ -144,14 +146,24 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
   result.timesteps = config.timesteps;
   result.ranks.resize(static_cast<std::size_t>(config.nranks));
 
+  // One worker pool serves every rank's cluster: only the token-holding
+  // rank dispatches at any moment, so per-rank pools would mostly sleep
+  // while multiplying thread counts by nranks. Declared before run_ranks
+  // so it outlives every cluster that dispatches onto it.
+  std::unique_ptr<athread::WorkerPool> cpe_pool;
+  if (config.backend == athread::Backend::kThreads)
+    cpe_pool = std::make_unique<athread::WorkerPool>(config.backend_threads);
+
   sim::run_ranks(config.nranks, [&](sim::Coordinator& coord, int rank) {
     RankResult& out = result.ranks[static_cast<std::size_t>(rank)];
     out.trace.enable(config.collect_trace);
 
     comm::Comm comm(network, coord, rank, &out.counters);
     athread::CpeCluster cluster(cost, coord, rank, &out.counters,
-                                config.cpe_groups);
+                                config.cpe_groups, config.backend,
+                                cpe_pool.get());
     sched::SchedulerConfig sched_config = config.variant.scheduler_config();
+    sched_config.backend = config.backend;
     sched_config.cpe_groups = config.cpe_groups;
     sched_config.async_dma = config.async_dma;
     sched_config.packed_tiles = config.packed_tiles;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "athread/athread.h"
 #include "check/check.h"
 #include "grid/partition.h"
 #include "hw/machine_params.h"
@@ -39,6 +40,15 @@ struct RunConfig {
   /// Feed per-rank obs::MetricsRegistry instances (message/tile/offload
   /// size samples) while running; read back via runtime::observe().
   bool collect_metrics = false;
+
+  /// Where the emulated CPE kernel bodies execute (uswsim --backend).
+  /// kSerial runs them on each rank's host thread; kThreads dispatches
+  /// them across a shared pool of real host threads. Both backends give
+  /// bit-identical fields and identical virtual-time results — threads
+  /// only buy host wall-clock.
+  athread::Backend backend = athread::Backend::kSerial;
+  /// Worker threads for Backend::kThreads (0 = one per host core, capped).
+  int backend_threads = 0;
 
   // Future-work options (paper Sec IX), orthogonal to the variant:
   int cpe_groups = 1;         ///< concurrent kernels per CG (async modes)

@@ -298,8 +298,12 @@ void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group)
   trace_.record(comm_.now(), sim::EventKind::kOffloadBegin, label, ids);
   cluster_.spawn(make_tile_job(args), group);
   trace_.record(comm_.now(), sim::EventKind::kKernelBegin, label, ids);
-  trace_.record(cluster_.completion_time(group), sim::EventKind::kKernelEnd,
-                label, ids);
+  // completion_time() blocks until the workers publish under the threads
+  // backend; only pay for it when the event would actually be recorded,
+  // so untraced runs keep the spawn->poll overlap window open.
+  if (trace_.enabled())
+    trace_.record(cluster_.completion_time(group), sim::EventKind::kKernelEnd,
+                  label, ids);
   offloaded_[static_cast<std::size_t>(group)] = dt_index;
   // The functional writes happened eagerly inside spawn(); the MPE-side
   // task scope ends here even though the offload is still in flight.

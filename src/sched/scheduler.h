@@ -79,6 +79,13 @@ struct SchedulerConfig {
   /// 64 slow CPEs. 0 disables the heuristic.
   std::uint64_t mpe_kernel_threshold_cells = 0;
 
+  /// Which execution backend drives the CpeCluster this scheduler runs
+  /// against (set by the controller to match RunConfig::backend). The
+  /// scheduling protocol is backend-independent — virtual time, task
+  /// order, and results are identical either way — so this is carried for
+  /// introspection (reports, tests) rather than branched on.
+  athread::Backend backend = athread::Backend::kSerial;
+
   /// Opt-in runtime validator (src/check): when set, the scheduler
   /// brackets task execution, records stencil/halo access regions, and
   /// installs the checker as the warehouses' access observer for the

@@ -12,6 +12,15 @@
 // physically been enqueued by the time that rank runs at T. Simulated
 // timings are therefore exactly reproducible regardless of host scheduling.
 //
+// Interaction with the real-threads CPE backend (athread::Backend::
+// kThreads): CPE worker threads are NOT simulated ranks and never touch
+// the Coordinator. They accumulate virtual busy time locally, per CPE, and
+// the owning rank folds it into its own clock's frame of reference only
+// while holding the token (CpeCluster blocks — in host wall-clock, with
+// its virtual clock frozen — until the workers have published). The
+// min-clock token invariant therefore holds unchanged: all virtual-time
+// mutation still happens on token-holding rank threads.
+//
 // Rank states:
 //   kReady    - wants to run; eligible at its clock.
 //   kRunning  - holds the token (at most one rank at a time).

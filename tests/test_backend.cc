@@ -1,0 +1,387 @@
+// Tests for the real-threads CPE execution backend: worker-pool mechanics,
+// offload protocol parity with the serial backend, and the central
+// guarantee that Backend::kSerial and Backend::kThreads produce
+// bit-identical field data, identical virtual times, and identical merged
+// performance counters.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/advect/advect_app.h"
+#include "apps/burgers/burgers_app.h"
+#include "apps/heat/heat_app.h"
+#include "athread/athread.h"
+#include "athread/worker_pool.h"
+#include "runtime/controller.h"
+#include "sim/coordinator.h"
+
+namespace usw {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Backend selection plumbing.
+
+TEST(Backend, ParsesAndPrints) {
+  EXPECT_EQ(athread::backend_from_string("serial"), athread::Backend::kSerial);
+  EXPECT_EQ(athread::backend_from_string("threads"), athread::Backend::kThreads);
+  EXPECT_STREQ(athread::to_string(athread::Backend::kSerial), "serial");
+  EXPECT_STREQ(athread::to_string(athread::Backend::kThreads), "threads");
+  EXPECT_THROW(athread::backend_from_string("cuda"), ConfigError);
+}
+
+TEST(Backend, RunConfigRejectsNegativePoolSize) {
+  runtime::RunConfig config;
+  config.problem = runtime::tiny_problem({2, 1, 1}, {8, 8, 8});
+  config.backend = athread::Backend::kThreads;
+  config.backend_threads = -1;
+  EXPECT_THROW(config.validate(), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// WorkerPool.
+
+TEST(WorkerPool, RunsEveryTaskWithValidWorkerIndex) {
+  std::atomic<int> ran{0};
+  std::atomic<bool> bad_index{false};
+  {
+    athread::WorkerPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    for (int i = 0; i < 200; ++i)
+      pool.submit([&](int worker) {
+        if (worker < 0 || worker >= 4) bad_index = true;
+        ran.fetch_add(1);
+      });
+  }  // destructor drains the queue and joins
+  EXPECT_EQ(ran.load(), 200);
+  EXPECT_FALSE(bad_index.load());
+}
+
+TEST(WorkerPool, DefaultSizeIsSane) {
+  const int n = athread::WorkerPool::default_size();
+  EXPECT_GE(n, 1);
+  EXPECT_LE(n, 16);
+  athread::WorkerPool pool;  // default-sized pool starts and stops cleanly
+  EXPECT_EQ(pool.size(), n);
+}
+
+// ---------------------------------------------------------------------------
+// CpeCluster protocol under the threads backend. These mirror the serial
+// semantics tests in test_athread.cc: the virtual-time protocol must be
+// indistinguishable.
+
+hw::MachineParams machine() { return hw::MachineParams::sunway_taihulight(); }
+
+template <typename Fn>
+void with_cluster(athread::Backend backend, int n_groups, Fn&& body) {
+  const hw::CostModel cost(machine());
+  athread::WorkerPool pool(4);  // >1 worker even on 1-core CI hosts
+  sim::run_ranks(1, [&](sim::Coordinator& coord, int rank) {
+    hw::PerfCounters counters;
+    athread::CpeCluster cluster(cost, coord, rank, &counters, n_groups,
+                                backend, &pool);
+    body(coord, cluster, counters);
+  });
+}
+
+TEST(ThreadsBackend, CompletionIsMaxOverCpes) {
+  with_cluster(athread::Backend::kThreads, 1,
+               [](sim::Coordinator& coord, athread::CpeCluster& cluster,
+                  hw::PerfCounters&) {
+    cluster.spawn([](athread::CpeContext& ctx) {
+      ctx.charge((ctx.cpe_id() + 1) * kMicrosecond);  // CPE 63 is slowest
+    });
+    const TimePs spawn_done = coord.now(0);
+    EXPECT_EQ(cluster.completion_time(), spawn_done + 64 * kMicrosecond);
+    cluster.join();
+    EXPECT_EQ(coord.now(0), spawn_done + 64 * kMicrosecond);
+  });
+}
+
+TEST(ThreadsBackend, FlagCountsCompletedCpes) {
+  with_cluster(athread::Backend::kThreads, 1,
+               [](sim::Coordinator& coord, athread::CpeCluster& cluster,
+                  hw::PerfCounters&) {
+    cluster.spawn([](athread::CpeContext& ctx) {
+      ctx.charge((ctx.cpe_id() + 1) * kMicrosecond);
+    });
+    coord.advance(0, 32 * kMicrosecond + 500 * kNanosecond);
+    EXPECT_EQ(cluster.flag(), 32);
+    cluster.join();
+    EXPECT_EQ(cluster.flag(), 64);
+  });
+}
+
+TEST(ThreadsBackend, DmaMovesDataAndMergesCounters) {
+  with_cluster(athread::Backend::kThreads, 1,
+               [](sim::Coordinator&, athread::CpeCluster& cluster,
+                  hw::PerfCounters& counters) {
+    // Every CPE stages its own 64-double slice through its LDM and writes
+    // it back doubled: disjoint write-sets, real concurrency.
+    std::vector<double> main_mem(64 * 64, 1.5);
+    std::vector<double> result(64 * 64, 0.0);
+    cluster.spawn([&](athread::CpeContext& ctx) {
+      const std::size_t off = static_cast<std::size_t>(ctx.cpe_id()) * 64;
+      auto buf = ctx.ldm().alloc<double>(64);
+      ctx.get(main_mem.data() + off, buf.data(), 64 * sizeof(double));
+      for (double& x : buf) x *= 2.0;
+      ctx.put(buf.data(), result.data() + off, 64 * sizeof(double));
+    });
+    cluster.join();
+    for (double x : result) EXPECT_DOUBLE_EQ(x, 3.0);
+    EXPECT_EQ(counters.dma_bytes_in, 64u * 64u * 8u);
+    EXPECT_EQ(counters.dma_bytes_out, 64u * 64u * 8u);
+    EXPECT_EQ(counters.kernels_offloaded, 1u);
+  });
+}
+
+TEST(ThreadsBackend, ExceptionInCpeBodySurfacesAtSync) {
+  EXPECT_THROW(
+      with_cluster(athread::Backend::kThreads, 1,
+                   [](sim::Coordinator&, athread::CpeCluster& cluster,
+                      hw::PerfCounters&) {
+        cluster.spawn([](athread::CpeContext& ctx) {
+          if (ctx.cpe_id() == 3) throw StateError("injected CPE failure");
+        });
+        cluster.join();  // first failing CPE id rethrown here
+      }),
+      StateError);
+}
+
+TEST(ThreadsBackend, DestructorWaitsForDispatchedBodies) {
+  // Destroying the cluster with an offload still in flight must block until
+  // the workers are done with the group's slots — no use-after-free, which
+  // ASan/TSan CI legs would catch.
+  std::atomic<int> ran{0};
+  with_cluster(athread::Backend::kThreads, 1,
+               [&](sim::Coordinator&, athread::CpeCluster& cluster,
+                   hw::PerfCounters&) {
+    cluster.spawn([&ran](athread::CpeContext& ctx) {
+      ctx.charge(kMicrosecond);
+      ran.fetch_add(1);
+    });
+    // No poll/join: the rank finishes with the offload "in flight".
+  });
+  EXPECT_EQ(ran.load(), 64);
+}
+
+// ---------------------------------------------------------------------------
+// Serial/threads equivalence on the offload protocol, including many small
+// offloads across independent CPE groups (the spawn/join stress the worker
+// pool sees from the multi-group async scheduler).
+
+struct StressOutcome {
+  std::vector<TimePs> completions;
+  std::vector<double> data;
+  hw::PerfCounters counters;
+};
+
+StressOutcome run_stress(athread::Backend backend) {
+  constexpr int kGroups = 4;
+  constexpr int kRounds = 32;
+  StressOutcome out;
+  const hw::CostModel cost(machine());
+  athread::WorkerPool pool(3);  // deliberately not a divisor of 16
+  sim::run_ranks(1, [&](sim::Coordinator& coord, int rank) {
+    athread::CpeCluster cluster(cost, coord, rank, &out.counters, kGroups,
+                                backend, &pool);
+    const int gs = cluster.group_size();
+    out.data.assign(static_cast<std::size_t>(kGroups) * gs, 0.0);
+    hw::KernelCost kc;
+    kc.flops_per_cell = 7;
+    for (int round = 0; round < kRounds; ++round) {
+      for (int g = 0; g < kGroups; ++g) {
+        cluster.spawn([&, g, round](athread::CpeContext& ctx) {
+          auto buf = ctx.ldm().alloc<double>(16);
+          buf[0] = g * 1000.0 + round + ctx.cpe_id() * 0.001;
+          ctx.compute(10 + static_cast<std::uint64_t>(ctx.cpe_id()), kc,
+                      /*simd=*/false);
+          ctx.charge((ctx.cpe_id() % 5) * kNanosecond);
+          ctx.put(buf.data(),
+                  &out.data[static_cast<std::size_t>(g * gs + ctx.cpe_id())],
+                  sizeof(double));
+        }, g);
+      }
+      for (int g = 0; g < kGroups; ++g) {
+        out.completions.push_back(cluster.completion_time(g));
+        cluster.join(g);
+      }
+    }
+    (void)rank;
+  });
+  return out;
+}
+
+void expect_counters_identical(const hw::PerfCounters& a,
+                               const hw::PerfCounters& b) {
+  EXPECT_EQ(a.counted_flops, b.counted_flops);  // bit-identical, not approx
+  EXPECT_EQ(a.cells_computed, b.cells_computed);
+  EXPECT_EQ(a.tiles_executed, b.tiles_executed);
+  EXPECT_EQ(a.kernels_offloaded, b.kernels_offloaded);
+  EXPECT_EQ(a.kernels_on_mpe, b.kernels_on_mpe);
+  EXPECT_EQ(a.dma_bytes_in, b.dma_bytes_in);
+  EXPECT_EQ(a.dma_bytes_out, b.dma_bytes_out);
+  EXPECT_EQ(a.pack_bytes, b.pack_bytes);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_received, b.messages_received);
+  EXPECT_EQ(a.bytes_sent, b.bytes_sent);
+  EXPECT_EQ(a.bytes_received, b.bytes_received);
+  EXPECT_EQ(a.reductions, b.reductions);
+  EXPECT_EQ(a.kernel_time, b.kernel_time);
+  EXPECT_EQ(a.mpe_task_time, b.mpe_task_time);
+  EXPECT_EQ(a.comm_time, b.comm_time);
+  EXPECT_EQ(a.wait_time, b.wait_time);
+}
+
+TEST(BackendStress, ManySmallOffloadsAcrossGroups) {
+  const StressOutcome serial = run_stress(athread::Backend::kSerial);
+  const StressOutcome threads = run_stress(athread::Backend::kThreads);
+  ASSERT_EQ(serial.completions.size(), threads.completions.size());
+  EXPECT_EQ(serial.completions, threads.completions);
+  ASSERT_EQ(serial.data.size(), threads.data.size());
+  for (std::size_t i = 0; i < serial.data.size(); ++i)
+    EXPECT_EQ(serial.data[i], threads.data[i]) << "slot " << i;
+  expect_counters_identical(serial.counters, threads.counters);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end equivalence: full simulations must give byte-identical
+// archived fields, identical per-step virtual walls, identical application
+// metrics, and identical merged counters.
+
+std::map<std::string, std::string> slurp_tree(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream is(entry.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    files.emplace(fs::relative(entry.path(), dir).string(), std::move(bytes));
+  }
+  return files;
+}
+
+runtime::RunResult run_app(const std::string& app_name,
+                           const std::string& variant,
+                           athread::Backend backend,
+                           const std::string& output_dir) {
+  runtime::RunConfig config;
+  config.problem = runtime::tiny_problem({2, 2, 1}, {8, 8, 8});
+  config.variant = runtime::variant_by_name(variant);
+  config.backend = backend;
+  config.backend_threads = 4;
+  config.nranks = 2;
+  config.timesteps = 4;
+  config.cpe_groups = 2;
+  config.output_dir = output_dir;
+  config.output_interval = 2;
+  if (app_name == "burgers") {
+    return runtime::run_simulation(config, apps::burgers::BurgersApp());
+  } else if (app_name == "heat") {
+    apps::heat::HeatApp::Config hc;
+    hc.stages = 2;
+    return runtime::run_simulation(config, apps::heat::HeatApp(hc));
+  }
+  return runtime::run_simulation(config, apps::advect::AdvectApp());
+}
+
+class BackendEquivalence : public ::testing::TestWithParam<
+                               std::tuple<std::string, std::string>> {};
+
+TEST_P(BackendEquivalence, FieldsVirtualTimesAndCountersMatch) {
+  const auto& [app, variant] = GetParam();
+  const std::string base = ::testing::TempDir() + "/usw_backend_eq_" + app +
+                           "_" + variant;
+  const std::string dir_serial = base + "_serial";
+  const std::string dir_threads = base + "_threads";
+  fs::remove_all(dir_serial);
+  fs::remove_all(dir_threads);
+
+  const runtime::RunResult serial =
+      run_app(app, variant, athread::Backend::kSerial, dir_serial);
+  const runtime::RunResult threads =
+      run_app(app, variant, athread::Backend::kThreads, dir_threads);
+
+  // Identical virtual times, per rank and per step.
+  ASSERT_EQ(serial.ranks.size(), threads.ranks.size());
+  for (std::size_t r = 0; r < serial.ranks.size(); ++r) {
+    EXPECT_EQ(serial.ranks[r].init_wall, threads.ranks[r].init_wall);
+    EXPECT_EQ(serial.ranks[r].step_walls, threads.ranks[r].step_walls);
+    EXPECT_EQ(serial.ranks[r].metrics, threads.ranks[r].metrics);  // bitwise
+    expect_counters_identical(serial.ranks[r].counters,
+                              threads.ranks[r].counters);
+  }
+  expect_counters_identical(serial.merged_counters(),
+                            threads.merged_counters());
+
+  // Byte-identical archived fields.
+  const auto tree_serial = slurp_tree(dir_serial);
+  const auto tree_threads = slurp_tree(dir_threads);
+  ASSERT_FALSE(tree_serial.empty());
+  ASSERT_EQ(tree_serial.size(), tree_threads.size());
+  for (const auto& [name, bytes] : tree_serial) {
+    auto it = tree_threads.find(name);
+    ASSERT_NE(it, tree_threads.end()) << name;
+    EXPECT_TRUE(bytes == it->second) << "archive file differs: " << name;
+  }
+  fs::remove_all(dir_serial);
+  fs::remove_all(dir_threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsAndVariants, BackendEquivalence,
+    ::testing::Values(std::make_tuple("burgers", "acc_simd.async"),
+                      std::make_tuple("burgers", "acc.sync"),
+                      std::make_tuple("heat", "acc.async"),
+                      std::make_tuple("advect", "acc_simd.async"),
+                      std::make_tuple("advect", "host.sync")),
+    [](const auto& param_info) {
+      std::string name =
+          std::get<0>(param_info.param) + "_" + std::get<1>(param_info.param);
+      for (char& c : name)
+        if (c == '.') c = '_';
+      return name;
+    });
+
+TEST(BackendTrace, SerialAndThreadsRecordIdenticalEvents) {
+  // With tracing on, the scheduler queries completion_time right after
+  // spawn (forcing an early publish under kThreads); the recorded events —
+  // including the future-stamped kernel completions — must still agree.
+  runtime::RunConfig config;
+  config.problem = runtime::tiny_problem({2, 1, 1}, {8, 8, 8});
+  config.variant = runtime::variant_by_name("acc.async");
+  config.nranks = 2;
+  config.timesteps = 3;
+  config.collect_trace = true;
+
+  config.backend = athread::Backend::kSerial;
+  const runtime::RunResult serial =
+      runtime::run_simulation(config, apps::burgers::BurgersApp());
+  config.backend = athread::Backend::kThreads;
+  config.backend_threads = 4;
+  const runtime::RunResult threads =
+      runtime::run_simulation(config, apps::burgers::BurgersApp());
+
+  for (std::size_t r = 0; r < serial.ranks.size(); ++r) {
+    const auto& es = serial.ranks[r].trace.events();
+    const auto& et = threads.ranks[r].trace.events();
+    ASSERT_EQ(es.size(), et.size());
+    for (std::size_t i = 0; i < es.size(); ++i) {
+      EXPECT_EQ(es[i].time, et[i].time) << "event " << i;
+      EXPECT_EQ(es[i].kind, et[i].kind) << "event " << i;
+      EXPECT_EQ(es[i].label, et[i].label) << "event " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace usw
