@@ -112,9 +112,15 @@ def compare_files(baseline_path, fresh_path, tolerance):
         bc, fc = base_cases[key], fresh_cases[key]
         where = "{}/{}/{}cg".format(*key)
         for metric in HIGHER_IS_WORSE + LOWER_IS_WORSE + EXACT:
-            if metric in bc:
-                compare_metric(where, metric, bc[metric],
-                               fc.get(metric, 0.0), tolerance, deltas)
+            if metric not in bc:
+                continue
+            if metric not in fc:
+                errors.append(
+                    f"case {where}: metric '{metric}' missing from fresh "
+                    "results")
+                continue
+            compare_metric(where, metric, bc[metric], fc[metric],
+                           tolerance, deltas)
     for key in sorted(set(fresh_cases) - set(base_cases)):
         errors.append(f"case {key} not in baseline (re-baseline to add)")
 

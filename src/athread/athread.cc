@@ -145,9 +145,14 @@ void CpeCluster::spawn(const CpeJob& job, int g) {
         // The real faaw: bump the group's completion counter in shared
         // memory, then wake an MPE blocked in sync_group(). The release
         // fetch-add orders this CPE's slot writes before any MPE read
-        // that observes the full count.
-        group.faaw.fetch_add(1, std::memory_order_release);
+        // that observes the full count. The increment happens under
+        // sync_mu_ so the MPE (which checks the count under the same
+        // mutex) can only see the full count after this worker has
+        // released the lock and no longer touches any cluster member —
+        // otherwise a shared-pool MPE could destroy the cluster while
+        // the last worker is between the fetch_add and the notify.
         std::lock_guard<std::mutex> lk(sync_mu_);
+        group.faaw.fetch_add(1, std::memory_order_release);
         sync_cv_.notify_all();
       });
     }
