@@ -36,6 +36,7 @@ std::string JsonReport::write(const std::string& dir) const {
     w.kv("overlap_efficiency", res.overlap_efficiency);
     w.kv("wait_ps", res.wait_ps);
     w.kv("critical_path_ps", res.critical_path_ps);
+    w.kv("cpe_idle_frac", res.cpe_idle_frac);
     w.end_object();
   }
   w.end_array();

@@ -42,6 +42,9 @@ const CaseResult& Sweep::run(const runtime::ProblemSpec& problem,
       cp += s.critical_path;
     }
     if (!m.steps.empty()) res.critical_path_ps = cp / static_cast<TimePs>(m.steps.size());
+    if (const obs::Distribution* d =
+            m.registry.distribution("offload.cpe_idle_frac"))
+      res.cpe_idle_frac = d->stats.mean();
   }
   std::fprintf(stderr, "  [sweep] %s %s %3d CGs: %s/step\n",
                problem.name.c_str(), variant.name.c_str(), ranks,

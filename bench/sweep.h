@@ -38,6 +38,9 @@ struct CaseResult {
   double overlap_efficiency = 0.0;  ///< 1 - wait/wall over the whole run
   TimePs wait_ps = 0;               ///< summed MPE idle (all ranks, steps)
   TimePs critical_path_ps = 0;      ///< mean per-step critical path
+  /// Mean per-offload CPE idle fraction (offload.cpe_idle_frac samples;
+  /// 0 when nothing was offloaded or observation is off).
+  double cpe_idle_frac = 0.0;
 };
 
 class Sweep {

@@ -46,6 +46,11 @@ void print_help() {
       "  --stages=1|2                  heat only: sub-steps per timestep\n"
       "  --heavy=F                     advect only: pulse-region work factor\n"
       "  --ieee-exp                    burgers only: IEEE exp library\n"
+      "  --hotspot=F                   burgers only: tiles near the domain\n"
+      "                                center cost F x (virtual time only;\n"
+      "                                skews tile costs for --tile-policy)\n"
+      "  --hotspot-radius=R            hotspot sphere radius as a fraction\n"
+      "                                of the domain extent (default 0.25)\n"
       "\n"
       "problem selection (choose one):\n"
       "  --problem=NAME                a Table III problem (e.g. 32x64x512)\n"
@@ -63,6 +68,12 @@ void print_help() {
       "  --timing-only                 skip field allocation (big problems)\n"
       "  --partition=block|roundrobin|cost\n"
       "  --cpe-groups=N  --async-dma  --packed-tiles\n"
+      "  --tile-policy=static|dynamic|guided\n"
+      "                                tile->CPE assignment per offload:\n"
+      "                                static = the paper's z-slab partition,\n"
+      "                                dynamic = atomic-counter self-scheduling\n"
+      "                                (one tile per grab), guided = shrinking\n"
+      "                                chunks; all deterministic\n"
       "  --mpe-threshold=CELLS         small-kernel MPE heuristic\n"
       "  --trace                       record + dump rank 0's event trace\n"
       "  --validate                    check every DW access against the\n"
@@ -123,6 +134,8 @@ int main(int argc, char** argv) {
     config.cpe_groups = static_cast<int>(opts.get_int("cpe-groups", 1));
     config.async_dma = opts.get_bool("async-dma", false);
     config.packed_tiles = opts.get_bool("packed-tiles", false);
+    config.tile_policy =
+        sched::tile_policy_from_string(opts.get("tile-policy", "static"));
     config.mpe_kernel_threshold_cells =
         static_cast<std::uint64_t>(opts.get_int("mpe-threshold", 0));
     config.collect_trace = opts.get_bool("trace", false);
@@ -144,6 +157,8 @@ int main(int argc, char** argv) {
     if (app_name == "burgers") {
       apps::burgers::BurgersApp::Config ac;
       ac.use_ieee_exp = opts.get_bool("ieee-exp", false);
+      ac.hotspot_factor = opts.get_double("hotspot", 1.0);
+      ac.hotspot_radius = opts.get_double("hotspot-radius", 0.25);
       app = std::make_unique<apps::burgers::BurgersApp>(ac);
     } else if (app_name == "heat") {
       apps::heat::HeatApp::Config ac;
@@ -158,12 +173,13 @@ int main(int argc, char** argv) {
     }
 
     std::printf("uswsim: %s on %s (%d patches of %s), %d CGs, %d steps, %s, "
-                "%s backend\n",
+                "%s backend, %s tiles\n",
                 app->name().c_str(), config.problem.grid_size().to_string().c_str(),
                 config.problem.num_patches(),
                 config.problem.patch_size.to_string().c_str(), config.nranks,
                 config.timesteps, config.variant.name.c_str(),
-                athread::to_string(config.backend));
+                athread::to_string(config.backend),
+                sched::to_string(config.tile_policy));
 
     const runtime::RunResult result = runtime::run_simulation(config, *app);
 

@@ -14,8 +14,8 @@ Usage:
 Exit codes: 0 = within tolerance, 1 = regression/mismatch, 2 = usage error.
 
 Regression policy, per metric:
-  * "higher is worse" metrics (mean_step_ps, wait_ps, critical_path_ps)
-    fail when fresh > baseline * (1 + tolerance);
+  * "higher is worse" metrics (mean_step_ps, wait_ps, critical_path_ps,
+    cpe_idle_frac) fail when fresh > baseline * (1 + tolerance);
   * "lower is worse" metrics (gflops, overlap_efficiency, scalars)
     fail when fresh < baseline * (1 - tolerance);
   * counted_flops is a work-volume invariant and must match exactly
@@ -38,7 +38,8 @@ import os
 import sys
 
 # metric -> direction in which it gets WORSE.
-HIGHER_IS_WORSE = ("mean_step_ps", "wait_ps", "critical_path_ps")
+HIGHER_IS_WORSE = ("mean_step_ps", "wait_ps", "critical_path_ps",
+                   "cpe_idle_frac")
 LOWER_IS_WORSE = ("gflops", "overlap_efficiency")
 EXACT = ("counted_flops",)
 EXACT_REL = 1e-12

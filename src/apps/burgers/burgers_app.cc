@@ -87,10 +87,30 @@ void BurgersApp::build_init_graph(task::TaskGraph& graph,
 
 void BurgersApp::build_step_graph(task::TaskGraph& graph,
                                   const grid::Level& level) const {
-  (void)level;
-  graph.add(task::Task::make_stencil(
-      "advance", u_label(), u_label(),
-      make_burgers_kernel(config_.use_ieee_exp, config_.tile_shape)));
+  kern::KernelVariants kernel =
+      make_burgers_kernel(config_.use_ieee_exp, config_.tile_shape);
+  if (config_.hotspot_factor != 1.0) {
+    // Tiles whose center lies within hotspot_radius (normalized) of the
+    // domain center cost hotspot_factor x in the virtual-time model. This
+    // skews the per-tile cost distribution without touching the numerics,
+    // so static z-partitions leave CPEs idle while dynamic policies don't.
+    const double factor = config_.hotspot_factor;
+    const double radius = config_.hotspot_radius;
+    const grid::Box domain = level.domain();
+    kernel.tile_cost_scale = [domain, factor, radius](const grid::Box& tile) {
+      double d2 = 0.0;
+      for (int axis = 0; axis < 3; ++axis) {
+        const double extent =
+            static_cast<double>(domain.hi[axis] - domain.lo[axis]);
+        const double center = 0.5 * (tile.lo[axis] + tile.hi[axis]);
+        const double t = (center - domain.lo[axis]) / extent - 0.5;
+        d2 += t * t;
+      }
+      return d2 <= radius * radius ? factor : 1.0;
+    };
+  }
+  graph.add(task::Task::make_stencil("advance", u_label(), u_label(),
+                                     std::move(kernel)));
 
   auto boundary = task::Task::make_mpe(
       "boundary",

@@ -24,6 +24,15 @@ class BurgersApp : public runtime::Application {
     bool use_ieee_exp = false;            ///< Sec VI-C library choice
     grid::IntVec tile_shape{16, 16, 8};   ///< Sec VI-A tile size
     double cfl_safety = 0.25;             ///< fraction of the stability limit
+    /// Synthetic per-tile load skew (uswsim --hotspot): tiles whose center
+    /// falls inside a sphere around the domain center cost this factor in
+    /// the virtual-time model (1.0 = uniform). Physics is unchanged; the
+    /// skew exists to exercise the tile scheduling policies.
+    double hotspot_factor = 1.0;
+    /// Hotspot sphere radius as a fraction of the domain extent (the
+    /// normalized distance from the domain center below which a tile is
+    /// "hot"). Only meaningful when hotspot_factor != 1.0.
+    double hotspot_radius = 0.25;
   };
 
   BurgersApp() = default;

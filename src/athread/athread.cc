@@ -224,6 +224,12 @@ int CpeCluster::flag(int g) const {
   return count;
 }
 
+const std::vector<TimePs>& CpeCluster::cpe_busy(int g) const {
+  Group& group = this->group(g);
+  if (!group.published) sync_group(group);
+  return group.cpe_busy;
+}
+
 TimePs CpeCluster::completion_time(int g) const {
   Group& group = this->group(g);
   USW_ASSERT_MSG(group.in_flight, "completion_time with no offload in flight");

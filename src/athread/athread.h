@@ -93,6 +93,8 @@ class CpeContext {
   int cpe_id() const { return cpe_id_; }
   /// CPEs in this group (64 for whole-cluster offloads).
   int n_cpes() const { return n_cpes_; }
+  /// CPEs in the whole cluster — what DMA contention is priced against.
+  int cluster_cpes() const { return cluster_cpes_; }
 
   /// This CPE's scratch-pad. Allocate tile buffers from it; overflow
   /// throws ResourceError exactly like exceeding the hardware LDM.
@@ -128,6 +130,15 @@ class CpeContext {
   /// Bumps the executed-tile counter.
   void count_tile() {
     if (counters_ != nullptr) counters_->tiles_executed += 1;
+  }
+
+  /// Charges `grabs` faaw round trips to the shared tile counter (the
+  /// self-scheduling loop of the dynamic/guided tile policies) and counts
+  /// them.
+  void grab(int grabs) {
+    busy_ += static_cast<TimePs>(grabs) * cost_.cpe_faaw();
+    if (counters_ != nullptr)
+      counters_->tile_grabs += static_cast<std::uint64_t>(grabs);
   }
 
   const hw::CostModel& cost() const { return cost_; }
@@ -194,6 +205,13 @@ class CpeCluster {
 
   /// Completion time of the offload in flight on group g.
   TimePs completion_time(int g = 0) const;
+
+  /// Per-CPE virtual busy times of group g's most recent offload (blocks
+  /// until the workers publish under Backend::kThreads). Indexed by CPE id
+  /// within the group; valid until the next spawn() on that group. The
+  /// schedulers read this after completion to roll up load-imbalance
+  /// telemetry.
+  const std::vector<TimePs>& cpe_busy(int g = 0) const;
   /// Earliest completion among all in-flight groups (kNever if none).
   TimePs earliest_completion() const;
 

@@ -4,11 +4,13 @@
 //
 // When a kernel is scheduled on the CPE cluster, its patch is subdivided
 // into tiles whose working set (all fields incl. ghost halo) fits the 64 KB
-// LDM. Tiles are assigned to CPEs by "naturally partitioning the blocks in
-// the z dimension" (paper Sec V-D step 1): contiguous runs of z-slabs per
-// CPE. The current hardware scheduler ignores per-tile load imbalance, and
-// so does this model — that imbalance is visible in the results exactly as
-// the paper notes.
+// LDM. The paper assigns tiles to CPEs by "naturally partitioning the
+// blocks in the z dimension" (Sec V-D step 1): contiguous runs of z-slabs
+// per CPE, which tiles_for_cpe() implements and which ignores per-tile
+// load imbalance. sched/tile_policy.h layers the self-scheduled
+// (dynamic/guided) assignments on top of this class; the Tiling itself only
+// defines the tile geometry and ordering (x-fastest, then y, then z) that
+// the shared grab counter walks.
 
 #include <cstdint>
 #include <vector>

@@ -69,6 +69,9 @@ class CostModel {
   /// Fixed per-tile loop setup on a CPE.
   TimePs cpe_tile_overhead() const { return params_.cpe_tile_overhead; }
 
+  /// One faaw round trip to the shared tile counter (self-scheduling grab).
+  TimePs cpe_faaw() const { return params_.cpe_faaw; }
+
   // ---- MPE ----
 
   /// Compute time for `cells` cells of kernel `cost` on the MPE

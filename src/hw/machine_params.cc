@@ -30,6 +30,8 @@ void MachineParams::validate() const {
   require(mpe_task_overhead >= 0 && offload_launch >= 0 && flag_poll >= 0 &&
               step_fixed_overhead >= 0,
           "overheads must be non-negative");
+  require(cpe_tile_overhead >= 0 && cpe_faaw >= 0,
+          "CPE tile costs must be non-negative");
 }
 
 }  // namespace usw::hw

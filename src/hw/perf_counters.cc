@@ -8,6 +8,7 @@ void PerfCounters::merge(const PerfCounters& other) {
   counted_flops += other.counted_flops;
   cells_computed += other.cells_computed;
   tiles_executed += other.tiles_executed;
+  tile_grabs += other.tile_grabs;
   kernels_offloaded += other.kernels_offloaded;
   kernels_on_mpe += other.kernels_on_mpe;
   dma_bytes_in += other.dma_bytes_in;

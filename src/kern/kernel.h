@@ -12,6 +12,7 @@
 
 #include "grid/intvec.h"
 #include "grid/level.h"
+#include "grid/tiling.h"
 #include "hw/cost_model.h"
 #include "kern/field_view.h"
 
@@ -46,11 +47,35 @@ struct KernelVariants {
   /// Optional per-patch work multiplier for spatially imbalanced physics;
   /// the cost model charges cost.scaled(cost_scale(patch)). Empty = 1.0.
   std::function<double(const grid::Patch&)> cost_scale;
+  /// Optional per-tile work multiplier on top of cost_scale, keyed by the
+  /// tile's interior box (e.g. a hotspot bubble where the physics converges
+  /// slower). Must be a pure function of the box so every backend and tile
+  /// policy charges identical costs. Empty = 1.0.
+  std::function<double(const grid::Box&)> tile_cost_scale;
 
   bool has_simd() const { return static_cast<bool>(simd); }
 
   double scale_for(const grid::Patch& patch) const {
     return cost_scale ? cost_scale(patch) : 1.0;
+  }
+
+  double scale_for_tile(const grid::Box& tile) const {
+    return tile_cost_scale ? tile_cost_scale(tile) : 1.0;
+  }
+
+  /// Cell-weighted mean of scale_for_tile over `tiling`'s tiles: the
+  /// patch-level equivalent charged when the stencil runs untiled on the
+  /// MPE, keeping counted flops identical across scheduler modes.
+  double mean_tile_scale(const grid::Tiling& tiling) const {
+    if (!tile_cost_scale) return 1.0;
+    double weighted = 0.0;
+    double cells = 0.0;
+    for (const grid::Box& tile : tiling.tiles()) {
+      const auto volume = static_cast<double>(tile.volume());
+      weighted += scale_for_tile(tile) * volume;
+      cells += volume;
+    }
+    return cells > 0.0 ? weighted / cells : 1.0;
   }
 
   const StencilFn& variant(bool vectorized) const {

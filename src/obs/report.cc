@@ -50,6 +50,27 @@ void print_histograms(std::ostream& os, const MetricsReport& report) {
   table.print(os);
 }
 
+void print_load_balance(std::ostream& os, const MetricsReport& report) {
+  // Per-offload CPE imbalance rollup, fed by the scheduler at each offload
+  // completion (sched::Scheduler::sample_offload_imbalance). Absent unless
+  // kernels were offloaded with metrics collection on.
+  const Distribution* idle =
+      report.registry.distribution("offload.cpe_idle_frac");
+  const Distribution* imb =
+      report.registry.distribution("offload.cpe_imbalance");
+  if (idle == nullptr || imb == nullptr) return;
+  TextTable table("CPE load balance (per offload)");
+  table.set_header({"offloads", "idle mean", "idle p90", "idle max",
+                    "max/mean busy", "worst"});
+  table.add_row({std::to_string(idle->stats.count()),
+                 TextTable::pct(idle->stats.mean()),
+                 TextTable::pct(idle->pct(90)),
+                 TextTable::pct(idle->stats.max()),
+                 TextTable::num(imb->stats.mean()),
+                 TextTable::num(imb->stats.max())});
+  table.print(os);
+}
+
 void print_critical_chain(std::ostream& os, const MetricsReport& report,
                           const RunObservation& run) {
   if (report.steps.empty()) return;
@@ -94,6 +115,8 @@ void print_report(std::ostream& os, const MetricsReport& report,
   print_tasks(os, report);
   os << '\n';
   print_histograms(os, report);
+  os << '\n';
+  print_load_balance(os, report);
   os << '\n';
   print_critical_chain(os, report, run);
 }

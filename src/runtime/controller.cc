@@ -168,6 +168,7 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
     sched_config.async_dma = config.async_dma;
     sched_config.packed_tiles = config.packed_tiles;
     sched_config.selection = config.selection;
+    sched_config.tile_policy = config.tile_policy;
     sched_config.mpe_kernel_threshold_cells = config.mpe_kernel_threshold_cells;
     if (config.collect_metrics) sched_config.metrics = &out.obs_metrics;
 

@@ -55,6 +55,10 @@ struct RunConfig {
   bool async_dma = false;     ///< double-buffered tile DMA
   bool packed_tiles = false;  ///< contiguous tile transfers
   sched::SelectionPolicy selection = sched::SelectionPolicy::kGraphOrder;
+  /// Tile->CPE assignment within each offload (uswsim --tile-policy):
+  /// the paper's static z-partition, or the deterministic atomic-counter
+  /// self-scheduling emulations. See sched/tile_policy.h.
+  sched::TilePolicy tile_policy = sched::TilePolicy::kStaticZ;
   /// Small-kernel heuristic: patches of at most this many cells run on the
   /// MPE even in offload modes (0 = always offload). See Sec V-C 3d.
   std::uint64_t mpe_kernel_threshold_cells = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "check/check.h"
 #include "obs/registry.h"
@@ -250,7 +251,13 @@ void Scheduler::run_stencil_on_mpe(task::TaskContext& ctx, int dt_index) {
   const kern::FieldView out = view_of(*ctx.new_dw, dt.task->stencil_out(),
                                       dt.patch_id, /*for_write=*/true);
   if (in.valid() && out.valid()) kernel.scalar(env_of(ctx), in, out, patch.cells());
-  const hw::KernelCost scaled = kernel.cost.scaled(kernel.scale_for(patch));
+  // The untiled MPE run pays the cell-weighted mean of any per-tile cost
+  // variation, so counted flops stay identical across scheduler modes.
+  double scale = kernel.scale_for(patch);
+  if (kernel.tile_cost_scale)
+    scale *= kernel.mean_tile_scale(
+        grid::Tiling(patch.cells(), kernel.tile_shape));
+  const hw::KernelCost scaled = kernel.cost.scaled(scale);
   const TimePs cost = comm_.net().cost().mpe_compute(cells, scaled);
   comm_.advance(cost);
   counters_.kernel_time += cost;
@@ -263,17 +270,6 @@ void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group)
   const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
   const kern::KernelVariants& kernel = dt.task->kernel();
   const grid::Patch& patch = level_.patch(dt.patch_id);
-  if (config_.checker != nullptr) {
-    config_.checker->record_stencil_read(dt_index, dt.task->stencil_in(),
-                                         dt.task->stencil_in_dw(),
-                                         patch.ghosted(kernel.ghost));
-    config_.checker->record_write(dt_index, dt.task->stencil_out(), patch.cells());
-    // The tile-partition race detector: the per-CPE write-sets of this
-    // offload must partition the patch interior exactly.
-    config_.checker->record_tile_partition(
-        dt_index, patch.cells(),
-        tile_writes(patch.cells(), kernel.tile_shape, cluster_.group_size()));
-  }
   TileExecArgs args;
   args.kernel = &kernel;
   args.env = env_of(ctx);
@@ -286,17 +282,34 @@ void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group)
   args.async_dma = config_.async_dma;
   args.packed_tiles = config_.packed_tiles;
   args.cost_scale = kernel.scale_for(patch);
+  args.policy = config_.tile_policy;
+  // Plan the tile->CPE assignment once per offload on the MPE and hand the
+  // same plan to the job, the race detector, and the telemetry, so all
+  // three see the assignment actually executed.
+  const grid::Tiling tiling(patch.cells(), kernel.tile_shape);
+  const auto plan = std::make_shared<const TileAssignment>(plan_tile_assignment(
+      args, tiling, cluster_.group_size(), cluster_.n_cpes(),
+      comm_.net().cost()));
+  if (config_.checker != nullptr) {
+    config_.checker->record_stencil_read(dt_index, dt.task->stencil_in(),
+                                         dt.task->stencil_in_dw(),
+                                         patch.ghosted(kernel.ghost));
+    config_.checker->record_write(dt_index, dt.task->stencil_out(), patch.cells());
+    // The tile-partition race detector: the per-CPE write-sets of this
+    // offload must partition the patch interior exactly.
+    config_.checker->record_tile_partition(dt_index, patch.cells(),
+                                           tile_writes(tiling, *plan));
+  }
   if (config_.metrics != nullptr) {
     config_.metrics->sample(
         "offload.cells", static_cast<double>(patch.cells().volume()));
-    for (const auto& [cpe, box] :
-         tile_writes(patch.cells(), kernel.tile_shape, cluster_.group_size()))
+    for (const auto& [cpe, box] : tile_writes(tiling, *plan))
       config_.metrics->sample("tile.cells", static_cast<double>(box.volume()));
   }
   const std::string label = dt.task->name() + " p" + std::to_string(dt.patch_id);
   const sim::EventIds ids{step_, dt_index, dt.patch_id, -1, -1, group, 0};
   trace_.record(comm_.now(), sim::EventKind::kOffloadBegin, label, ids);
-  cluster_.spawn(make_tile_job(args), group);
+  cluster_.spawn(make_tile_job(args, plan), group);
   trace_.record(comm_.now(), sim::EventKind::kKernelBegin, label, ids);
   // completion_time() blocks until the workers publish under the threads
   // backend; only pay for it when the event would actually be recorded,
@@ -308,6 +321,32 @@ void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group)
   // The functional writes happened eagerly inside spawn(); the MPE-side
   // task scope ends here even though the offload is still in flight.
   if (config_.checker != nullptr) config_.checker->end_task();
+}
+
+void Scheduler::sample_offload_imbalance(int group) {
+  if (config_.metrics == nullptr) return;
+  const std::vector<TimePs>& busy = cluster_.cpe_busy(group);
+  if (busy.empty()) return;
+  TimePs max = 0;
+  TimePs sum = 0;
+  for (const TimePs b : busy) {
+    max = std::max(max, b);
+    sum += b;
+  }
+  // Integer accumulation first, then one division each: the samples are
+  // bit-identical across backends because the per-CPE busy times are.
+  const auto n = static_cast<double>(busy.size());
+  const double mean = static_cast<double>(sum) / n;
+  config_.metrics->sample("offload.cpe_busy_max_ps", static_cast<double>(max));
+  config_.metrics->sample("offload.cpe_busy_mean_ps", mean);
+  // Fraction of the offload's CPE-seconds spent idle: 1 - sum/(n*max).
+  config_.metrics->sample(
+      "offload.cpe_idle_frac",
+      max > 0 ? 1.0 - static_cast<double>(sum) / (n * static_cast<double>(max))
+              : 0.0);
+  // Max/mean busy ratio, the classic load-imbalance factor (1.0 = perfect).
+  config_.metrics->sample("offload.cpe_imbalance",
+                          mean > 0.0 ? static_cast<double>(max) / mean : 1.0);
 }
 
 void Scheduler::run_mpe_body(task::TaskContext& ctx, int dt_index) {
@@ -474,6 +513,7 @@ void Scheduler::run_loop_sync(task::TaskContext& ctx) {
           trace_.record(before, sim::EventKind::kWaitBegin, "cpe-spin",
                         sim::EventIds{step_, t, dt.patch_id, -1, -1, 0, 0});
           cluster_.join(0);
+          sample_offload_imbalance(0);
           trace_.record(comm_.now(), sim::EventKind::kWaitEnd, "cpe-spin",
                         sim::EventIds{step_, t, dt.patch_id, -1, -1, 0, 0});
           trace_.record(comm_.now(), sim::EventKind::kOffloadEnd, label,
@@ -505,6 +545,7 @@ void Scheduler::run_loop_async(task::TaskContext& ctx) {
       if (offloaded_[static_cast<std::size_t>(g)] >= 0 && cluster_.poll(g)) {
         const int finished = offloaded_[static_cast<std::size_t>(g)];
         offloaded_[static_cast<std::size_t>(g)] = -1;
+        sample_offload_imbalance(g);
         const task::DetailedTask& fdt =
             graph_.tasks[static_cast<std::size_t>(finished)];
         trace_.record(comm_.now(), sim::EventKind::kOffloadEnd,

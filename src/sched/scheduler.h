@@ -34,6 +34,7 @@
 #include "athread/athread.h"
 #include "comm/comm.h"
 #include "hw/perf_counters.h"
+#include "sched/tile_policy.h"
 #include "sim/trace.h"
 #include "task/graph.h"
 #include "var/datawarehouse.h"
@@ -64,6 +65,12 @@ struct SchedulerConfig {
   SchedulerMode mode = SchedulerMode::kAsyncMpeCpe;
   bool vectorize = false;  ///< use the SIMD kernel variants
   SelectionPolicy selection = SelectionPolicy::kGraphOrder;
+
+  /// How each offload's tiles are assigned to the CPEs of its group:
+  /// the paper's static z-partition, or the atomic-counter self-scheduling
+  /// emulations (sched/tile_policy.h). Deterministic and backend-agnostic
+  /// under every policy.
+  TilePolicy tile_policy = TilePolicy::kStaticZ;
 
   // Future-work options (paper Sec IX). The CPE cluster is split into
   // cpe_groups independent groups; the async scheduler keeps one kernel in
@@ -146,6 +153,10 @@ class Scheduler {
   void mpe_part(task::TaskContext& ctx, int dt_index);
   void run_stencil_on_mpe(task::TaskContext& ctx, int dt_index);
   void offload_stencil(task::TaskContext& ctx, int dt_index, int group);
+  /// Rolls the finished offload's per-CPE busy times into the metrics
+  /// registry (max/mean busy, idle fraction). Called from the completion
+  /// paths, where both backends observe the same scheduler state.
+  void sample_offload_imbalance(int group);
   void run_mpe_body(task::TaskContext& ctx, int dt_index);
   void on_finished(task::TaskContext& ctx, int dt_index);
   /// Tests outstanding receives/sends; unpacks completed receives.

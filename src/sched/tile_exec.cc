@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,17 @@ void run_tile_functional(const TileExecArgs& args, const grid::Box& tile,
   copy_region(ldm_out, args.out, tile);
 }
 
+/// The operation mix charged for `tile`: the patch-scaled base, optionally
+/// further scaled by the kernel's per-tile cost function. The planner's
+/// estimator calls this too, so estimated and charged costs are the same
+/// expression (bit-identical).
+hw::KernelCost tile_kernel_cost(const kern::KernelVariants& kernel,
+                                const hw::KernelCost& base,
+                                const grid::Box& tile) {
+  if (!kernel.tile_cost_scale) return base;
+  return base.scaled(kernel.scale_for_tile(tile));
+}
+
 /// Synchronous per-tile loop: the paper's current implementation
 /// (Sec V-D: "does not make use of the fact that the memory-LDM transfer
 /// can be asynchronous").
@@ -39,11 +51,12 @@ void run_sync(const TileExecArgs& args, athread::CpeContext& ctx,
               const grid::Tiling& tiling, const std::vector<int>& mine,
               bool functional) {
   const kern::KernelVariants& kernel = *args.kernel;
-  const hw::KernelCost cost = kernel.cost.scaled(args.cost_scale);
+  const hw::KernelCost base = kernel.cost.scaled(args.cost_scale);
   const bool strided = !args.packed_tiles;
   for (int t : mine) {
     const grid::Box tile = tiling.tile(t);
     const grid::Box ghosted = tile.grown(kernel.ghost);
+    const hw::KernelCost cost = tile_kernel_cost(kernel, base, tile);
     ctx.charge(ctx.cost().cpe_tile_overhead());
     ctx.ldm().reset();
     auto in_buf = ctx.ldm().alloc<double>(static_cast<std::size_t>(ghosted.volume()));
@@ -69,7 +82,7 @@ void run_double_buffered(const TileExecArgs& args, athread::CpeContext& ctx,
                          const grid::Tiling& tiling, const std::vector<int>& mine,
                          bool functional) {
   const kern::KernelVariants& kernel = *args.kernel;
-  const hw::KernelCost cost = kernel.cost.scaled(args.cost_scale);
+  const hw::KernelCost base = kernel.cost.scaled(args.cost_scale);
   const bool strided = !args.packed_tiles;
 
   // Buffers sized for the largest assigned tile, two of each.
@@ -101,6 +114,7 @@ void run_double_buffered(const TileExecArgs& args, athread::CpeContext& ctx,
   for (int i = 0; i < n; ++i) {
     const grid::Box tile = tiling.tile(mine[static_cast<std::size_t>(i)]);
     const grid::Box ghosted = tile.grown(kernel.ghost);
+    const hw::KernelCost cost = tile_kernel_cost(kernel, base, tile);
     if (functional)
       run_tile_functional(args, tile, ghosted,
                           kern::FieldView(in_buf[i % 2].data(), ghosted),
@@ -126,29 +140,90 @@ void run_double_buffered(const TileExecArgs& args, athread::CpeContext& ctx,
 
 }  // namespace
 
-std::vector<std::pair<int, grid::Box>> tile_writes(const grid::Box& patch_cells,
-                                                   grid::IntVec tile_shape,
-                                                   int n_cpes) {
-  const grid::Tiling tiling(patch_cells, tile_shape);
+TileAssignment plan_tile_assignment(const TileExecArgs& args,
+                                    const grid::Tiling& tiling, int n_cpes,
+                                    int cluster_cpes,
+                                    const hw::CostModel& cost) {
+  USW_ASSERT(args.kernel != nullptr);
+  const kern::KernelVariants& kernel = *args.kernel;
+  const hw::KernelCost base = kernel.cost.scaled(args.cost_scale);
+  const bool strided = !args.packed_tiles;
+  // The synchronous end-to-end price of one tile — the exact sum run_sync
+  // charges, so under sync DMA the planned clocks equal the executed busy
+  // times. The double-buffered executor overlaps the DMA terms; planning
+  // with the sync estimate keeps the assignment identical across both DMA
+  // modes (it is what the shared counter would see on the hardware, where
+  // the grab happens before the pipeline hides anything).
+  const TileCostFn tile_cost = [&](int t) {
+    const grid::Box tile = tiling.tile(t);
+    const grid::Box ghosted = tile.grown(kernel.ghost);
+    const hw::KernelCost kc = tile_kernel_cost(kernel, base, tile);
+    return cost.cpe_tile_overhead() +
+           cost.cpe_dma(static_cast<std::uint64_t>(ghosted.volume()) * sizeof(double),
+                        cluster_cpes, strided) +
+           cost.cpe_compute(static_cast<std::uint64_t>(tile.volume()), kc,
+                            args.vectorize, kernel.use_ieee_exp) +
+           cost.cpe_dma(static_cast<std::uint64_t>(tile.volume()) * sizeof(double),
+                        cluster_cpes, strided);
+  };
+  return assign_tiles(tiling, n_cpes, args.policy, tile_cost, cost.cpe_faaw());
+}
+
+std::vector<std::pair<int, grid::Box>> tile_writes(const grid::Tiling& tiling,
+                                                   const TileAssignment& plan) {
   std::vector<std::pair<int, grid::Box>> writes;
   writes.reserve(static_cast<std::size_t>(tiling.num_tiles()));
-  for (int cpe = 0; cpe < n_cpes; ++cpe)
-    for (int t : tiling.tiles_for_cpe(cpe, n_cpes))
+  for (int cpe = 0; cpe < plan.n_cpes(); ++cpe)
+    for (int t : plan.tiles_per_cpe[static_cast<std::size_t>(cpe)])
       writes.emplace_back(cpe, tiling.tile(t));
   return writes;
 }
 
-athread::CpeJob make_tile_job(TileExecArgs args) {
+athread::CpeJob make_tile_job(TileExecArgs args,
+                              std::shared_ptr<const TileAssignment> plan) {
   USW_ASSERT(args.kernel != nullptr);
-  return [args](athread::CpeContext& ctx) {
+  // Fallback for callers that did not plan (direct make_tile_job users):
+  // the first CPE body to enter computes the plan once and the rest reuse
+  // it — call_once makes that safe under the threads backend, and the plan
+  // is a pure function so every backend computes the same one.
+  struct LazyPlan {
+    std::once_flag once;
+    TileAssignment plan;
+  };
+  std::shared_ptr<LazyPlan> lazy;
+  if (plan == nullptr && args.policy != TilePolicy::kStaticZ)
+    lazy = std::make_shared<LazyPlan>();
+  return [args, plan = std::move(plan), lazy](athread::CpeContext& ctx) {
     const grid::Tiling tiling(args.patch_cells, args.kernel->tile_shape);
     const bool functional = args.in.valid() && args.out.valid();
-    const std::vector<int> mine = tiling.tiles_for_cpe(ctx.cpe_id(), ctx.n_cpes());
-    if (mine.empty()) return;
+    const TileAssignment* assignment = plan.get();
+    if (assignment == nullptr && lazy != nullptr) {
+      std::call_once(lazy->once, [&] {
+        lazy->plan = plan_tile_assignment(args, tiling, ctx.n_cpes(),
+                                          ctx.cluster_cpes(), ctx.cost());
+      });
+      assignment = &lazy->plan;
+    }
+    std::vector<int> static_mine;
+    const std::vector<int>* mine = &static_mine;
+    int grabs = 0;
+    if (assignment != nullptr) {
+      USW_ASSERT_MSG(assignment->n_cpes() == ctx.n_cpes(),
+                     "tile plan sized for a different CPE group");
+      const auto cpe = static_cast<std::size_t>(ctx.cpe_id());
+      mine = &assignment->tiles_per_cpe[cpe];
+      grabs = assignment->grabs_per_cpe[cpe];
+    } else {
+      static_mine = tiling.tiles_for_cpe(ctx.cpe_id(), ctx.n_cpes());
+    }
+    // Self-scheduling arbitration is paid whether or not this CPE won any
+    // tiles (the losing faaw is what ends its loop).
+    if (grabs > 0) ctx.grab(grabs);
+    if (mine->empty()) return;
     if (args.async_dma)
-      run_double_buffered(args, ctx, tiling, mine, functional);
+      run_double_buffered(args, ctx, tiling, *mine, functional);
     else
-      run_sync(args, ctx, tiling, mine, functional);
+      run_sync(args, ctx, tiling, *mine, functional);
   };
 }
 

@@ -3,8 +3,9 @@
 // The CPE tile scheduler (Sec V-D).
 //
 // Builds the athread job that executes one stencil kernel over one patch on
-// a CPE group: each CPE computes its statically assigned tiles
-// (z-partitioned, Sec V-D step 1), and for each tile performs
+// a CPE group: each CPE computes its assigned tiles — statically
+// z-partitioned (Sec V-D step 1) or self-scheduled off a shared atomic
+// counter (TilePolicy) — and for each tile performs
 //   athread_get (ghosted tile -> LDM) -> kernel on LDM -> athread_put,
 // finishing with the faaw increment modeled inside CpeCluster. LDM
 // capacity is genuinely enforced: staging buffers are allocated from the
@@ -18,6 +19,7 @@
 //   * packed_tiles - tiles are stored contiguously in main memory, so DMA
 //     runs at the packed (higher) efficiency instead of the strided one.
 
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "grid/box.h"
 #include "grid/tiling.h"
 #include "kern/kernel.h"
+#include "sched/tile_policy.h"
 
 namespace usw::sched {
 
@@ -40,18 +43,34 @@ struct TileExecArgs {
   bool async_dma = false;    ///< double-buffered DMA pipeline (Sec IX)
   bool packed_tiles = false; ///< contiguous tile transfers (Sec IX)
   double cost_scale = 1.0;   ///< per-patch work multiplier
+  TilePolicy policy = TilePolicy::kStaticZ;  ///< tile->CPE assignment
 };
 
-/// Job for CpeCluster::spawn. Copies `args` by value; the views must stay
-/// valid until the offload completes.
-athread::CpeJob make_tile_job(TileExecArgs args);
+/// Plans the tile->CPE assignment the job will execute: args.policy applied
+/// to the patch's tiling with the synchronous per-tile cost estimate
+/// (tile overhead + get + compute + put, per-tile cost scale included) and
+/// the faaw grab cost. `n_cpes` is the offload's group size and
+/// `cluster_cpes` the whole cluster's CPE count (DMA contention).
+/// Deterministic: a pure function of its arguments.
+TileAssignment plan_tile_assignment(const TileExecArgs& args,
+                                    const grid::Tiling& tiling, int n_cpes,
+                                    int cluster_cpes,
+                                    const hw::CostModel& cost);
 
-/// The per-CPE write-sets — (cpe id, tile interior box) pairs — that
-/// make_tile_job's job will produce for this patch/tile-shape/group size.
-/// Built from the same Tiling the job uses, so the access checker's
-/// tile-partition race detector validates the real assignment.
-std::vector<std::pair<int, grid::Box>> tile_writes(const grid::Box& patch_cells,
-                                                   grid::IntVec tile_shape,
-                                                   int n_cpes);
+/// Job for CpeCluster::spawn. Copies `args` by value; the views must stay
+/// valid until the offload completes. `plan` is the assignment from
+/// plan_tile_assignment (shared so the scheduler plans once per offload);
+/// when null, the job plans lazily on first CPE entry — callers that also
+/// feed the checker or telemetry should plan explicitly and pass it in.
+athread::CpeJob make_tile_job(TileExecArgs args,
+                              std::shared_ptr<const TileAssignment> plan = nullptr);
+
+/// The per-CPE write-sets — (cpe id, tile interior box) pairs — of the
+/// assignment actually executed, in execution order. Feeds the access
+/// checker's tile-partition race detector, which therefore validates the
+/// real (policy-dependent) assignment rather than re-deriving the static
+/// z-partition.
+std::vector<std::pair<int, grid::Box>> tile_writes(const grid::Tiling& tiling,
+                                                   const TileAssignment& plan);
 
 }  // namespace usw::sched

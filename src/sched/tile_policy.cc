@@ -1,0 +1,111 @@
+#include "sched/tile_policy.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "support/error.h"
+
+namespace usw::sched {
+namespace {
+
+/// Min-heap entry: the CPE whose virtual clock is smallest grabs next;
+/// equal clocks arbitrate toward the lowest CPE id (all CPEs start at
+/// clock 0, so the first round hands tiles out in id order, exactly like
+/// the emulated faaw loop).
+struct GrabSlot {
+  TimePs clock;
+  int cpe;
+  friend bool operator>(const GrabSlot& a, const GrabSlot& b) {
+    if (a.clock != b.clock) return a.clock > b.clock;
+    return a.cpe > b.cpe;
+  }
+};
+
+TileAssignment self_schedule(const grid::Tiling& tiling, int n_cpes,
+                             TilePolicy policy, const TileCostFn& tile_cost,
+                             TimePs grab_cost) {
+  TileAssignment plan;
+  plan.policy = policy;
+  plan.tiles_per_cpe.assign(static_cast<std::size_t>(n_cpes), {});
+  plan.grabs_per_cpe.assign(static_cast<std::size_t>(n_cpes), 0);
+  plan.est_busy.assign(static_cast<std::size_t>(n_cpes), 0);
+
+  std::priority_queue<GrabSlot, std::vector<GrabSlot>, std::greater<GrabSlot>>
+      heap;
+  for (int cpe = 0; cpe < n_cpes; ++cpe) heap.push(GrabSlot{0, cpe});
+
+  const int total = tiling.num_tiles();
+  int next = 0;  // the shared tile counter every grab faaw's
+  while (next < total) {
+    GrabSlot slot = heap.top();
+    heap.pop();
+    const int remaining = total - next;
+    const int chunk =
+        policy == TilePolicy::kGuided ? std::max(1, remaining / n_cpes) : 1;
+    const auto c = static_cast<std::size_t>(slot.cpe);
+    plan.grabs_per_cpe[c] += 1;
+    slot.clock += grab_cost;
+    for (int i = 0; i < chunk; ++i, ++next) {
+      plan.tiles_per_cpe[c].push_back(next);
+      slot.clock += tile_cost(next);
+    }
+    heap.push(slot);
+  }
+  // Every CPE pays one terminating grab: the faaw that finds the counter
+  // past the tile count and ends its loop.
+  for (int cpe = 0; cpe < n_cpes; ++cpe) {
+    plan.grabs_per_cpe[static_cast<std::size_t>(cpe)] += 1;
+  }
+  while (!heap.empty()) {
+    const GrabSlot slot = heap.top();
+    heap.pop();
+    plan.est_busy[static_cast<std::size_t>(slot.cpe)] = slot.clock + grab_cost;
+  }
+  return plan;
+}
+
+TileAssignment static_z(const grid::Tiling& tiling, int n_cpes,
+                        const TileCostFn& tile_cost) {
+  TileAssignment plan;
+  plan.policy = TilePolicy::kStaticZ;
+  plan.tiles_per_cpe.reserve(static_cast<std::size_t>(n_cpes));
+  plan.grabs_per_cpe.assign(static_cast<std::size_t>(n_cpes), 0);
+  plan.est_busy.assign(static_cast<std::size_t>(n_cpes), 0);
+  for (int cpe = 0; cpe < n_cpes; ++cpe) {
+    plan.tiles_per_cpe.push_back(tiling.tiles_for_cpe(cpe, n_cpes));
+    TimePs& busy = plan.est_busy[static_cast<std::size_t>(cpe)];
+    for (int t : plan.tiles_per_cpe.back()) busy += tile_cost(t);
+  }
+  return plan;
+}
+
+}  // namespace
+
+const char* to_string(TilePolicy policy) {
+  switch (policy) {
+    case TilePolicy::kStaticZ: return "static";
+    case TilePolicy::kDynamic: return "dynamic";
+    case TilePolicy::kGuided: return "guided";
+  }
+  return "?";
+}
+
+TilePolicy tile_policy_from_string(const std::string& name) {
+  if (name == "static") return TilePolicy::kStaticZ;
+  if (name == "dynamic") return TilePolicy::kDynamic;
+  if (name == "guided") return TilePolicy::kGuided;
+  throw ConfigError("unknown tile policy '" + name +
+                    "' (expected static|dynamic|guided)");
+}
+
+TileAssignment assign_tiles(const grid::Tiling& tiling, int n_cpes,
+                            TilePolicy policy, const TileCostFn& tile_cost,
+                            TimePs grab_cost) {
+  USW_ASSERT(n_cpes > 0);
+  USW_ASSERT(static_cast<bool>(tile_cost));
+  if (policy == TilePolicy::kStaticZ) return static_z(tiling, n_cpes, tile_cost);
+  return self_schedule(tiling, n_cpes, policy, tile_cost, grab_cost);
+}
+
+}  // namespace usw::sched

@@ -21,6 +21,7 @@
 #include "athread/athread.h"
 #include "athread/worker_pool.h"
 #include "runtime/controller.h"
+#include "sched/tile_policy.h"
 #include "sim/coordinator.h"
 
 namespace usw {
@@ -226,6 +227,7 @@ void expect_counters_identical(const hw::PerfCounters& a,
   EXPECT_EQ(a.counted_flops, b.counted_flops);  // bit-identical, not approx
   EXPECT_EQ(a.cells_computed, b.cells_computed);
   EXPECT_EQ(a.tiles_executed, b.tiles_executed);
+  EXPECT_EQ(a.tile_grabs, b.tile_grabs);
   EXPECT_EQ(a.kernels_offloaded, b.kernels_offloaded);
   EXPECT_EQ(a.kernels_on_mpe, b.kernels_on_mpe);
   EXPECT_EQ(a.dma_bytes_in, b.dma_bytes_in);
@@ -351,6 +353,67 @@ INSTANTIATE_TEST_SUITE_P(
         if (c == '.') c = '_';
       return name;
     });
+
+TEST(BackendEquivalencePolicies, EveryTilePolicyMatchesAcrossBackends) {
+  // The dynamic/guided assignments are planned in virtual time, never from
+  // host thread interleaving — so even with a skewed per-tile cost and the
+  // double-buffered DMA pipeline, serial and threads must stay
+  // bit-identical in fields, virtual times, and counters per policy.
+  for (const sched::TilePolicy policy :
+       {sched::TilePolicy::kStaticZ, sched::TilePolicy::kDynamic,
+        sched::TilePolicy::kGuided}) {
+    const auto run = [&](athread::Backend backend, const std::string& dir) {
+      runtime::RunConfig config;
+      config.problem = runtime::tiny_problem({2, 2, 1}, {16, 16, 16});
+      config.variant = runtime::variant_by_name("acc_simd.async");
+      config.backend = backend;
+      config.backend_threads = 4;
+      config.nranks = 2;
+      config.timesteps = 4;
+      config.cpe_groups = 2;
+      config.async_dma = true;
+      config.tile_policy = policy;
+      config.output_dir = dir;
+      config.output_interval = 2;
+      apps::burgers::BurgersApp::Config bc;
+      bc.tile_shape = {8, 8, 8};  // 8 tiles per patch, LDM-fitting doubled
+      bc.hotspot_factor = 4.0;    // skew: policies assign differently
+      return runtime::run_simulation(config, apps::burgers::BurgersApp(bc));
+    };
+    const std::string base = ::testing::TempDir() + "/usw_policy_eq_" +
+                             sched::to_string(policy);
+    const std::string dir_serial = base + "_serial";
+    const std::string dir_threads = base + "_threads";
+    fs::remove_all(dir_serial);
+    fs::remove_all(dir_threads);
+    const runtime::RunResult serial = run(athread::Backend::kSerial, dir_serial);
+    const runtime::RunResult threads =
+        run(athread::Backend::kThreads, dir_threads);
+
+    ASSERT_EQ(serial.ranks.size(), threads.ranks.size());
+    for (std::size_t r = 0; r < serial.ranks.size(); ++r) {
+      EXPECT_EQ(serial.ranks[r].step_walls, threads.ranks[r].step_walls)
+          << sched::to_string(policy);
+      EXPECT_EQ(serial.ranks[r].metrics, threads.ranks[r].metrics);
+      expect_counters_identical(serial.ranks[r].counters,
+                                threads.ranks[r].counters);
+    }
+    expect_counters_identical(serial.merged_counters(),
+                              threads.merged_counters());
+    const auto tree_serial = slurp_tree(dir_serial);
+    const auto tree_threads = slurp_tree(dir_threads);
+    ASSERT_FALSE(tree_serial.empty());
+    ASSERT_EQ(tree_serial.size(), tree_threads.size());
+    for (const auto& [name, bytes] : tree_serial) {
+      auto it = tree_threads.find(name);
+      ASSERT_NE(it, tree_threads.end()) << name;
+      EXPECT_TRUE(bytes == it->second)
+          << sched::to_string(policy) << " archive file differs: " << name;
+    }
+    fs::remove_all(dir_serial);
+    fs::remove_all(dir_threads);
+  }
+}
 
 TEST(BackendTrace, SerialAndThreadsRecordIdenticalEvents) {
   // With tracing on, the scheduler queries completion_time right after

@@ -128,6 +128,118 @@ TEST(TileExec, TimingOnlyChargesWithoutData) {
   EXPECT_GT(counters.counted_flops, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Double-buffered DMA edge cases: a single tile (prologue get and epilogue
+// put both exposed, nothing to overlap), CPEs with no tiles at all under a
+// dynamic assignment, and heterogeneous clipped tiles (the two buffer pairs
+// are sized by the largest assigned tile).
+
+TEST(TileExec, DoubleBufferedSingleTileMatchesDirect) {
+  const grid::Box patch{{0, 0, 0}, {8, 8, 8}};  // one tile == the patch
+  var::CCVariable<double> u0(patch.grown(1)), direct(patch), tiled(patch);
+  SplitMix64 rng(37);
+  for (double& x : u0.data()) x = rng.next_in(0.0, 1.0);
+
+  const kern::KernelVariants kv =
+      apps::burgers::make_burgers_kernel(false, {8, 8, 8});
+  const kern::KernelEnv env = test_env();
+  kv.scalar(env, kern::FieldView::of(u0), kern::FieldView::of(direct), patch);
+
+  const hw::CostModel cost(machine());
+  hw::PerfCounters counters;
+  TimePs elapsed = 0;
+  sim::run_ranks(1, [&](sim::Coordinator& coord, int rank) {
+    athread::CpeCluster cluster(cost, coord, rank, &counters);
+    TileExecArgs args;
+    args.kernel = &kv;
+    args.env = env;
+    args.in = kern::FieldView::of(u0);
+    args.out = kern::FieldView::of(tiled);
+    args.patch_cells = patch;
+    args.async_dma = true;
+    const TimePs before = coord.now(rank);
+    cluster.spawn(make_tile_job(args));
+    cluster.join();
+    elapsed = coord.now(rank) - before;
+  });
+  for (std::size_t i = 0; i < direct.data().size(); ++i)
+    ASSERT_EQ(direct.data()[i], tiled.data()[i]) << "cell " << i;
+  EXPECT_EQ(counters.tiles_executed, 1u);
+  EXPECT_EQ(counters.dma_bytes_in, 10u * 10 * 10 * 8);
+  EXPECT_EQ(counters.dma_bytes_out, 8u * 8 * 8 * 8);
+  EXPECT_GT(elapsed, 0);
+}
+
+TEST(TileExec, DoubleBufferedHeterogeneousTilesMatchDirect) {
+  // 12x10x20 with 8x8x8 tiles clips every boundary tile: 2x2x3 tiles of
+  // mixed shapes on one CPE's slab, so the i%2 buffer rotation must cope
+  // with tiles smaller than the buffers.
+  const grid::Box patch{{0, 0, 0}, {12, 10, 20}};
+  var::CCVariable<double> u0(patch.grown(1)), direct(patch), tiled(patch);
+  SplitMix64 rng(41);
+  for (double& x : u0.data()) x = rng.next_in(0.0, 1.0);
+
+  const kern::KernelVariants kv =
+      apps::burgers::make_burgers_kernel(false, {8, 8, 8});
+  const kern::KernelEnv env = test_env();
+  kv.scalar(env, kern::FieldView::of(u0), kern::FieldView::of(direct), patch);
+
+  const hw::CostModel cost(machine());
+  hw::PerfCounters counters;
+  sim::run_ranks(1, [&](sim::Coordinator& coord, int rank) {
+    athread::CpeCluster cluster(cost, coord, rank, &counters);
+    TileExecArgs args;
+    args.kernel = &kv;
+    args.env = env;
+    args.in = kern::FieldView::of(u0);
+    args.out = kern::FieldView::of(tiled);
+    args.patch_cells = patch;
+    args.async_dma = true;
+    cluster.spawn(make_tile_job(args));
+    cluster.join();
+  });
+  for (std::size_t i = 0; i < direct.data().size(); ++i)
+    ASSERT_EQ(direct.data()[i], tiled.data()[i]) << "cell " << i;
+  EXPECT_EQ(counters.tiles_executed, 12u);
+  EXPECT_EQ(counters.cells_computed,
+            static_cast<std::uint64_t>(patch.volume()));
+}
+
+TEST(TileExec, DoubleBufferedDynamicWithEmptyCpesMatchesDirect) {
+  // 4 tiles over 64 CPEs under self-scheduling: 60 CPEs win nothing and
+  // must pay only the terminating grab, never touching the DMA pipeline.
+  const grid::Box patch{{0, 0, 0}, {16, 16, 8}};
+  var::CCVariable<double> u0(patch.grown(1)), direct(patch), tiled(patch);
+  SplitMix64 rng(43);
+  for (double& x : u0.data()) x = rng.next_in(0.0, 1.0);
+
+  const kern::KernelVariants kv =
+      apps::burgers::make_burgers_kernel(false, {8, 8, 8});
+  const kern::KernelEnv env = test_env();
+  kv.scalar(env, kern::FieldView::of(u0), kern::FieldView::of(direct), patch);
+
+  const hw::CostModel cost(machine());
+  hw::PerfCounters counters;
+  sim::run_ranks(1, [&](sim::Coordinator& coord, int rank) {
+    athread::CpeCluster cluster(cost, coord, rank, &counters);
+    TileExecArgs args;
+    args.kernel = &kv;
+    args.env = env;
+    args.in = kern::FieldView::of(u0);
+    args.out = kern::FieldView::of(tiled);
+    args.patch_cells = patch;
+    args.async_dma = true;
+    args.policy = TilePolicy::kDynamic;
+    cluster.spawn(make_tile_job(args));
+    cluster.join();
+  });
+  for (std::size_t i = 0; i < direct.data().size(); ++i)
+    ASSERT_EQ(direct.data()[i], tiled.data()[i]) << "cell " << i;
+  EXPECT_EQ(counters.tiles_executed, 4u);
+  // 4 winning grabs plus one terminating grab per CPE.
+  EXPECT_EQ(counters.tile_grabs, 4u + 64u);
+}
+
 TEST(TileExec, OversizedTileOverflowsLdm) {
   const grid::Box patch{{0, 0, 0}, {32, 32, 32}};
   kern::KernelVariants kv = apps::burgers::make_burgers_kernel(false);
