@@ -1,0 +1,142 @@
+// Ablation: fault injection and recovery overhead (src/fault).
+//
+// Injects each fault kind at a fixed rate into the same small burgers
+// run and measures what recovery costs in virtual time: offload retries
+// with backoff, CPE-group degradation to MPE-only, message retransmits
+// on timeout, and DMA re-issues. The clean row is the reference; the
+// faulted rows show the per-step slowdown each recovery path buys.
+//
+// Every number here is deterministic: injection decisions are pure
+// seeded hashes (see fault/fault.h), virtual time carries the cost, and
+// the recovered numerics stay bit-equal to the fault-free run. That
+// makes the fault counters themselves (injected/retries/degraded)
+// legitimate regression-gate metrics — committed as scalars so CI
+// notices when a model change shifts which faults fire.
+//
+// Emits BENCH_ablation_fault.json for the CI regression gate.
+
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/burgers/burgers_app.h"
+#include "fault/fault.h"
+#include "json_report.h"
+#include "runtime/controller.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace usw;
+
+struct Scenario {
+  std::string name;
+  std::string spec;  ///< --inject spec; empty = clean reference run
+};
+
+struct Measurement {
+  TimePs mean_step = 0;
+  hw::PerfCounters counters;
+  bench::CaseResult result;
+};
+
+Measurement run_case(const Scenario& s) {
+  runtime::RunConfig cfg;
+  cfg.problem = runtime::tiny_problem({2, 2, 1}, {16, 16, 16});
+  cfg.problem.name = s.name;
+  cfg.variant = runtime::variant_by_name("acc.async");
+  cfg.nranks = 2;
+  cfg.timesteps = 4;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  // Dynamic self-scheduling fills all CPEs on this small tile grid; under
+  // the static z-partition most CPEs are idle, a stalled idle CPE costs
+  // nothing, and MPE-only degradation would spuriously beat the clean run.
+  cfg.tile_policy = sched::TilePolicy::kDynamic;
+  cfg.faults = fault::FaultPlan::parse(s.spec, /*seed=*/1);
+
+  apps::burgers::BurgersApp::Config app_cfg;
+  // 4^3 tiles on a 16^3 patch = 64 tiles per offload: every CPE of the
+  // group carries work, so a hash-picked stall victim is never idle.
+  app_cfg.tile_shape = {4, 4, 4};
+  const apps::burgers::BurgersApp app(app_cfg);
+  const runtime::RunResult r = runtime::run_simulation(cfg, app);
+
+  Measurement out;
+  out.mean_step = r.mean_step_wall();
+  out.counters = r.merged_counters();
+  out.result.mean_step = out.mean_step;
+  out.result.gflops = r.achieved_gflops();
+  out.result.counted_flops = r.total_counted_flops();
+  std::cerr << "  [fault] " << s.name << ": "
+            << format_duration(out.mean_step) << "/step, injected "
+            << out.counters.fault_injected << "\n";
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // One scenario per recovery path, plus a combined storm. p=1 on
+  // offload_fail exhausts the retry budget and forces degradation.
+  const std::vector<Scenario> scenarios = {
+      {"clean", ""},
+      {"cpe_stall", "cpe_stall:p=0.2:factor=8"},
+      {"offload_retry", "offload_fail:p=0.2"},
+      {"degrade_to_mpe", "offload_fail:p=1"},
+      {"dma_error", "dma_error:p=0.1"},
+      {"msg_faults", "msg_delay:p=0.2:factor=12,msg_loss:p=0.2"},
+      {"storm", "cpe_stall:p=0.1:factor=6,offload_fail:p=0.1,"
+                "dma_error:p=0.05,msg_delay:p=0.1:factor=8,msg_loss:p=0.1"},
+  };
+
+  bench::JsonReport json("ablation_fault");
+  TextTable table("Ablation: fault injection / recovery (burgers, 2 CGs, acc.async)");
+  table.set_header({"scenario", "step wall", "vs clean", "injected", "retries",
+                    "degraded", "MPE kernels"});
+  std::map<std::string, Measurement> by_case;
+  TimePs clean_wall = 0;
+  for (const Scenario& s : scenarios) {
+    const Measurement m = run_case(s);
+    if (s.name == "clean") clean_wall = m.mean_step;
+    by_case[s.name] = m;
+    json.add(bench::CaseKey{s.name, "acc.async", 2}, m.result);
+    table.add_row(
+        {s.name, format_duration(m.mean_step),
+         TextTable::num(static_cast<double>(m.mean_step) /
+                            static_cast<double>(clean_wall), 2) + "x",
+         std::to_string(m.counters.fault_injected),
+         std::to_string(m.counters.fault_retries),
+         std::to_string(m.counters.fault_degraded),
+         std::to_string(m.counters.kernels_on_mpe)});
+  }
+  table.print(std::cout);
+
+  // Recovery efficiency: clean/faulted wall ratio, in (0, 1]; bigger is
+  // better, which matches bench_compare's scalar direction. The counters
+  // are exact-deterministic; a drift means the injection hash keys or
+  // the recovery policy changed.
+  for (const Scenario& s : scenarios) {
+    if (s.spec.empty()) continue;
+    const Measurement& m = by_case.at(s.name);
+    json.add_scalar("recovery_efficiency_" + s.name,
+                    static_cast<double>(clean_wall) /
+                        static_cast<double>(m.mean_step));
+    json.add_scalar("injected_" + s.name,
+                    static_cast<double>(m.counters.fault_injected));
+    json.add_scalar("retries_" + s.name,
+                    static_cast<double>(m.counters.fault_retries));
+  }
+  json.add_scalar("degraded_groups_storm",
+                  static_cast<double>(
+                      by_case.at("degrade_to_mpe").counters.fault_degraded));
+  const std::string path = json.write();
+  if (!path.empty()) std::cout << "\nwrote " << path << "\n";
+
+  std::cout << "\nRetry backoff and re-offloads dominate the moderate-rate\n"
+               "rows; at p=1 every group degrades to MPE-only and the run\n"
+               "pays the full MPE/CPE throughput gap instead. Message loss\n"
+               "costs a cost-model timeout per retransmit. All recovered\n"
+               "runs stay bit-equal to the clean run's numerics.\n";
+  return 0;
+}

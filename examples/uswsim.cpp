@@ -89,6 +89,19 @@ void print_help() {
       "  --report                      print the breakdown tables and the\n"
       "                                critical chain of the slowest step\n"
       "\n"
+      "fault injection / resilience (deterministic, seeded):\n"
+      "  --inject=SPEC                 kind[:key=val...][,kind...] with kinds\n"
+      "                                cpe_stall, offload_fail, dma_error,\n"
+      "                                msg_delay, msg_loss and keys p=PROB,\n"
+      "                                step=N, factor=F; e.g.\n"
+      "                                cpe_stall:p=1e-3,msg_loss:p=1e-2\n"
+      "  --fault-seed=N                injection hash seed (default 1)\n"
+      "  --step-deadline-us=N          restart the step from the last\n"
+      "                                checkpoint when its virtual wall\n"
+      "                                exceeds N us (needs --output +\n"
+      "                                --output-interval; 0 = off)\n"
+      "  --max-restarts=N              checkpoint-restart cap (default 4)\n"
+      "\n"
       "output / restart (functional storage only):\n"
       "  --output=DIR --output-interval=N\n"
       "  --restart=DIR [--restart-step=S]\n");
@@ -96,8 +109,34 @@ void print_help() {
 
 grid::IntVec parse_triple(const std::string& s, const char* what) {
   grid::IntVec v;
-  if (std::sscanf(s.c_str(), "%dx%dx%d", &v.x, &v.y, &v.z) != 3)
+  int consumed = 0;
+  // %n + full-consume: "16x16x16junk" and "16x16" must both be rejected,
+  // not silently truncated or zero-filled.
+  if (std::sscanf(s.c_str(), "%dx%dx%d%n", &v.x, &v.y, &v.z, &consumed) != 3 ||
+      consumed != static_cast<int>(s.size()))
     throw ConfigError(std::string(what) + " expects AxBxC, got '" + s + "'");
+  if (v.x <= 0 || v.y <= 0 || v.z <= 0)
+    throw ConfigError(std::string(what) + " components must be positive, got '" +
+                      s + "'");
+  return v;
+}
+
+/// get_int with a lower bound; the error names the flag.
+std::int64_t get_int_min(const Options& opts, const std::string& key,
+                         std::int64_t def, std::int64_t min) {
+  const std::int64_t v = opts.get_int(key, def);
+  if (v < min)
+    throw ConfigError("--" + key + " must be >= " + std::to_string(min) +
+                      ", got " + std::to_string(v));
+  return v;
+}
+
+/// get_double constrained to be strictly positive; the error names the flag.
+double get_double_pos(const Options& opts, const std::string& key, double def) {
+  const double v = opts.get_double(key, def);
+  if (!(v > 0.0))
+    throw ConfigError("--" + key + " must be positive, got '" +
+                      opts.get(key) + "'");
   return v;
 }
 
@@ -120,9 +159,10 @@ int main(int argc, char** argv) {
     }
     config.variant = runtime::variant_by_name(opts.get("variant", "acc_simd.async"));
     config.backend = athread::backend_from_string(opts.get("backend", "serial"));
-    config.backend_threads = static_cast<int>(opts.get_int("backend-threads", 0));
-    config.nranks = static_cast<int>(opts.get_int("ranks", 4));
-    config.timesteps = static_cast<int>(opts.get_int("steps", 10));
+    config.backend_threads =
+        static_cast<int>(get_int_min(opts, "backend-threads", 0, 0));
+    config.nranks = static_cast<int>(get_int_min(opts, "ranks", 4, 1));
+    config.timesteps = static_cast<int>(get_int_min(opts, "steps", 10, 0));
     config.storage = opts.get_bool("timing-only", false)
                          ? var::StorageMode::kTimingOnly
                          : var::StorageMode::kFunctional;
@@ -131,13 +171,20 @@ int main(int argc, char** argv) {
     else if (partition == "roundrobin") config.partition = grid::PartitionPolicy::kRoundRobin;
     else if (partition == "cost") config.partition = grid::PartitionPolicy::kCostBalanced;
     else throw ConfigError("unknown --partition '" + partition + "'");
-    config.cpe_groups = static_cast<int>(opts.get_int("cpe-groups", 1));
+    config.cpe_groups = static_cast<int>(get_int_min(opts, "cpe-groups", 1, 1));
     config.async_dma = opts.get_bool("async-dma", false);
     config.packed_tiles = opts.get_bool("packed-tiles", false);
     config.tile_policy =
         sched::tile_policy_from_string(opts.get("tile-policy", "static"));
     config.mpe_kernel_threshold_cells =
-        static_cast<std::uint64_t>(opts.get_int("mpe-threshold", 0));
+        static_cast<std::uint64_t>(get_int_min(opts, "mpe-threshold", 0, 0));
+    config.faults = fault::FaultPlan::parse(
+        opts.get("inject", ""),
+        static_cast<std::uint64_t>(get_int_min(opts, "fault-seed", 1, 0)));
+    config.recovery.step_deadline =
+        get_int_min(opts, "step-deadline-us", 0, 0) * kMicrosecond;
+    config.recovery.max_restarts =
+        static_cast<int>(get_int_min(opts, "max-restarts", 4, 0));
     config.collect_trace = opts.get_bool("trace", false);
     const std::string trace_json = opts.get("trace-json", "");
     const std::string metrics_json = opts.get("metrics-json", "");
@@ -148,25 +195,27 @@ int main(int argc, char** argv) {
     }
     config.check.enabled = opts.get_bool("validate", false);
     config.output_dir = opts.get("output", "");
-    config.output_interval = static_cast<int>(opts.get_int("output-interval", 0));
+    config.output_interval =
+        static_cast<int>(get_int_min(opts, "output-interval", 0, 0));
     config.restart_dir = opts.get("restart", "");
-    config.restart_step = static_cast<int>(opts.get_int("restart-step", -1));
+    config.restart_step =
+        static_cast<int>(get_int_min(opts, "restart-step", -1, -1));
 
     const std::string app_name = opts.get("app", "burgers");
     std::unique_ptr<runtime::Application> app;
     if (app_name == "burgers") {
       apps::burgers::BurgersApp::Config ac;
       ac.use_ieee_exp = opts.get_bool("ieee-exp", false);
-      ac.hotspot_factor = opts.get_double("hotspot", 1.0);
-      ac.hotspot_radius = opts.get_double("hotspot-radius", 0.25);
+      ac.hotspot_factor = get_double_pos(opts, "hotspot", 1.0);
+      ac.hotspot_radius = get_double_pos(opts, "hotspot-radius", 0.25);
       app = std::make_unique<apps::burgers::BurgersApp>(ac);
     } else if (app_name == "heat") {
       apps::heat::HeatApp::Config ac;
-      ac.stages = static_cast<int>(opts.get_int("stages", 1));
+      ac.stages = static_cast<int>(get_int_min(opts, "stages", 1, 1));
       app = std::make_unique<apps::heat::HeatApp>(ac);
     } else if (app_name == "advect") {
       apps::advect::AdvectApp::Config ac;
-      ac.heavy_factor = opts.get_double("heavy", 1.0);
+      ac.heavy_factor = get_double_pos(opts, "heavy", 1.0);
       app = std::make_unique<apps::advect::AdvectApp>(ac);
     } else {
       throw ConfigError("unknown --app '" + app_name + "' (burgers|heat|advect)");
@@ -180,6 +229,8 @@ int main(int argc, char** argv) {
                 config.timesteps, config.variant.name.c_str(),
                 athread::to_string(config.backend),
                 sched::to_string(config.tile_policy));
+    if (!config.faults.empty())
+      std::printf("fault injection: %s\n", config.faults.describe().c_str());
 
     const runtime::RunResult result = runtime::run_simulation(config, *app);
 
@@ -200,6 +251,12 @@ int main(int argc, char** argv) {
     table.add_row({"offloads", std::to_string(sum.kernels_offloaded)});
     table.add_row({"MPI messages", std::to_string(sum.messages_sent)});
     table.add_row({"MPI volume", format_bytes(sum.bytes_sent)});
+    if (!config.faults.empty()) {
+      table.add_row({"faults injected", std::to_string(sum.fault_injected)});
+      table.add_row({"fault retries", std::to_string(sum.fault_retries)});
+      table.add_row({"degraded groups", std::to_string(sum.fault_degraded)});
+      table.add_row({"restarts", std::to_string(sum.fault_restarts)});
+    }
     table.print(std::cout);
 
     if (!result.ranks[0].metrics.empty()) {

@@ -13,6 +13,12 @@ Usage:
 
 Exit codes: 0 = within tolerance, 1 = regression/mismatch, 2 = usage error.
 
+The comparison is symmetric: entries missing from the fresh results are
+hard errors (a bench silently stopped reporting something), while entries
+present only in the fresh results — new scalars, new cases, new per-case
+metrics — are reported as notes and, under --strict, also fail (so a new
+bench config cannot land without a committed baseline). CI runs --strict.
+
 Regression policy, per metric:
   * "higher is worse" metrics (mean_step_ps, wait_ps, critical_path_ps,
     cpe_idle_frac) fail when fresh > baseline * (1 + tolerance);
@@ -87,11 +93,17 @@ def compare_metric(where, metric, base, fresh, tolerance, deltas):
 
 
 def compare_files(baseline_path, fresh_path, tolerance):
+    """Returns (deltas, errors, extras).
+
+    errors: baseline entries missing from the fresh results — always fail.
+    extras: fresh-only entries (scalar / case / per-case metric) with no
+    baseline to compare against — notes by default, failures under --strict.
+    """
     with open(baseline_path) as f:
         base = json.load(f)
     with open(fresh_path) as f:
         fresh = json.load(f)
-    deltas, errors = [], []
+    deltas, errors, extras = [], [], []
 
     base_scalars = base.get("scalars", {})
     fresh_scalars = fresh.get("scalars", {})
@@ -102,7 +114,7 @@ def compare_files(baseline_path, fresh_path, tolerance):
         compare_metric(f"scalar:{name}", name, bval, fresh_scalars[name],
                        tolerance, deltas)
     for name in sorted(set(fresh_scalars) - set(base_scalars)):
-        errors.append(f"scalar '{name}' not in baseline (re-baseline to add)")
+        extras.append(f"scalar '{name}' not in baseline (re-baseline to add)")
 
     base_cases = {case_key(c): c for c in base.get("cases", [])}
     fresh_cases = {case_key(c): c for c in fresh.get("cases", [])}
@@ -113,19 +125,24 @@ def compare_files(baseline_path, fresh_path, tolerance):
         bc, fc = base_cases[key], fresh_cases[key]
         where = "{}/{}/{}cg".format(*key)
         for metric in HIGHER_IS_WORSE + LOWER_IS_WORSE + EXACT:
-            if metric not in bc:
+            if metric not in bc and metric not in fc:
                 continue
             if metric not in fc:
                 errors.append(
                     f"case {where}: metric '{metric}' missing from fresh "
                     "results")
                 continue
+            if metric not in bc:
+                extras.append(
+                    f"case {where}: metric '{metric}' not in baseline "
+                    "(re-baseline to add)")
+                continue
             compare_metric(where, metric, bc[metric], fc[metric],
                            tolerance, deltas)
     for key in sorted(set(fresh_cases) - set(base_cases)):
-        errors.append(f"case {key} not in baseline (re-baseline to add)")
+        extras.append(f"case {key} not in baseline (re-baseline to add)")
 
-    return deltas, errors
+    return deltas, errors, extras
 
 
 def print_table(bench, deltas):
@@ -150,6 +167,9 @@ def main():
     ap.add_argument("--fresh-dir", help="directory with fresh BENCH_*.json")
     ap.add_argument("--tolerance", type=float, default=0.05,
                     help="relative tolerance (default 0.05 = 5%%)")
+    ap.add_argument("--strict", action="store_true",
+                    help="fail on fresh-only entries (new scalar/case/metric "
+                         "without a committed baseline), not just report them")
     args = ap.parse_args()
 
     pairs = []
@@ -178,8 +198,8 @@ def main():
                   "did the bench run?", file=sys.stderr)
             failed = True
             continue
-        deltas, errors = compare_files(baseline_path, fresh_path,
-                                       args.tolerance)
+        deltas, errors, extras = compare_files(baseline_path, fresh_path,
+                                               args.tolerance)
         if deltas:
             print_table(bench, deltas)
         else:
@@ -187,7 +207,12 @@ def main():
                   f"{args.tolerance:.0%} of baseline")
         for e in errors:
             print(f"  ERROR: {e}", file=sys.stderr)
+        for e in extras:
+            tag = "ERROR" if args.strict else "NOTE"
+            print(f"  {tag}: {e}", file=sys.stderr)
         if errors or any(d.worse for d in deltas):
+            failed = True
+        if args.strict and extras:
             failed = True
 
     if failed:

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Regression tests for bench_compare.py (run by ctest).
+
+Covers the symmetric-comparison fix: entries present only in the fresh
+results (scalar, case, per-case metric) must be *reported* and must fail
+under --strict — previously a fresh-only per-case metric was silently
+ignored, so a new bench config could regress unnoticed.
+"""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+BASE = {
+    "scalars": {"async_improvement": 1.30},
+    "cases": [
+        {"problem": "tiny", "variant": "acc.async", "ranks": 4,
+         "mean_step_ps": 1000.0, "gflops": 2.0, "counted_flops": 5.0e9},
+    ],
+}
+
+
+def run_compare(base, fresh, *flags):
+    with tempfile.TemporaryDirectory() as tmp:
+        bpath = os.path.join(tmp, "base.json")
+        fpath = os.path.join(tmp, "fresh.json")
+        with open(bpath, "w") as f:
+            json.dump(base, f)
+        with open(fpath, "w") as f:
+            json.dump(fresh, f)
+        return subprocess.run(
+            [sys.executable, SCRIPT, bpath, fpath, *flags],
+            capture_output=True, text=True)
+
+
+class BenchCompareTest(unittest.TestCase):
+    def test_identical_passes(self):
+        r = run_compare(BASE, BASE)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        r = run_compare(BASE, BASE, "--strict")
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_regression_fails(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["cases"][0]["mean_step_ps"] = 1200.0  # 20% slower
+        r = run_compare(BASE, fresh)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("REGRESSION", r.stdout)
+
+    def test_improvement_passes(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["cases"][0]["mean_step_ps"] = 800.0
+        r = run_compare(BASE, fresh)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("improved", r.stdout)
+
+    def test_counted_flops_must_match_exactly(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["cases"][0]["counted_flops"] = 5.1e9
+        r = run_compare(BASE, fresh)
+        self.assertEqual(r.returncode, 1)
+
+    def test_baseline_metric_missing_from_fresh_always_fails(self):
+        fresh = copy.deepcopy(BASE)
+        del fresh["cases"][0]["gflops"]
+        r = run_compare(BASE, fresh)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("missing from fresh", r.stderr)
+
+    def test_fresh_only_scalar_noted_then_strict_fails(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["scalars"]["new_ratio"] = 2.0
+        r = run_compare(BASE, fresh)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("NOTE", r.stderr)
+        r = run_compare(BASE, fresh, "--strict")
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("not in baseline", r.stderr)
+
+    def test_fresh_only_case_noted_then_strict_fails(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["cases"].append({"problem": "tiny", "variant": "host.sync",
+                               "ranks": 4, "mean_step_ps": 9999.0})
+        r = run_compare(BASE, fresh)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("NOTE", r.stderr)
+        r = run_compare(BASE, fresh, "--strict")
+        self.assertEqual(r.returncode, 1)
+
+    def test_fresh_only_case_metric_noted_then_strict_fails(self):
+        # The original hole: a known metric present only in the fresh case
+        # was silently skipped by the baseline-driven metric loop.
+        fresh = copy.deepcopy(BASE)
+        fresh["cases"][0]["wait_ps"] = 123.0
+        r = run_compare(BASE, fresh)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("wait_ps", r.stderr)
+        r = run_compare(BASE, fresh, "--strict")
+        self.assertEqual(r.returncode, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

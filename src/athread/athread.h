@@ -132,6 +132,16 @@ class CpeContext {
     if (counters_ != nullptr) counters_->tiles_executed += 1;
   }
 
+  /// Counts an injected CPE-side fault (src/fault) in this CPE's private
+  /// slot; the ordered per-group fold keeps totals backend-identical.
+  void count_fault_injected() {
+    if (counters_ != nullptr) counters_->fault_injected += 1;
+  }
+  /// Counts a CPE-side recovery action (e.g. a re-issued DMA).
+  void count_fault_retry() {
+    if (counters_ != nullptr) counters_->fault_retries += 1;
+  }
+
   /// Charges `grabs` faaw round trips to the shared tile counter (the
   /// self-scheduling loop of the dynamic/guided tile policies) and counts
   /// them.

@@ -11,6 +11,12 @@ namespace usw::comm {
 namespace {
 /// Tag space reserved for collectives; user tags must stay below this.
 constexpr int kCollectiveTagBase = 1 << 28;
+
+/// RequestId layout: low bits index the request table, high bits carry the
+/// table epoch. 2^40 requests per step and 2^24 epochs are both far beyond
+/// any simulated run.
+constexpr std::size_t kEpochShift = 40;
+constexpr std::size_t kIndexMask = (std::size_t{1} << kEpochShift) - 1;
 }  // namespace
 
 Network::Network(int nranks, const hw::CostModel& cost)
@@ -28,15 +34,95 @@ TimePs Network::reserve_link(int src, TimePs post_time, std::uint64_t bytes) {
   return free;
 }
 
-void Network::deliver(Message msg) {
+Network::Delivery Network::deliver(Message msg, int attempt) {
   USW_ASSERT(msg.dst >= 0 && msg.dst < size());
+  Delivery result{DeliveryStatus::kDelivered, msg.arrival};
+  if (fault_ != nullptr) {
+    if (attempt < kMaxSendAttempts && fault_->msg_lost(msg.seq, attempt)) {
+      result.status = DeliveryStatus::kLost;
+      return result;  // dropped on the wire: never enqueued
+    }
+    if (const auto factor = fault_->msg_delay_factor(msg.seq, attempt)) {
+      const double extra = (*factor - 1.0) *
+                           static_cast<double>(cost_.params().net_latency);
+      msg.arrival += static_cast<TimePs>(extra);
+      result.status = DeliveryStatus::kDelayed;
+      result.arrival = msg.arrival;
+    }
+  }
   mailboxes_[static_cast<std::size_t>(msg.dst)].push_back(std::move(msg));
+  return result;
 }
 
 Comm::Comm(Network& net, sim::Coordinator& coord, int rank,
            hw::PerfCounters* counters)
     : net_(net), coord_(coord), rank_(rank), counters_(counters) {
   USW_ASSERT(rank >= 0 && rank < net.size());
+}
+
+RequestId Comm::make_id(std::size_t index) const {
+  USW_ASSERT_MSG(index <= kIndexMask, "request table overflow");
+  return (epoch_ << kEpochShift) | index;
+}
+
+Comm::Request& Comm::checked(RequestId id) {
+  const std::size_t epoch = id >> kEpochShift;
+  const std::size_t index = id & kIndexMask;
+  if (epoch != epoch_)
+    throw StateError(
+        "RequestId from a released request table (reset_requests was called "
+        "since it was issued)");
+  if (index >= requests_.size())
+    throw StateError("invalid RequestId: slot " + std::to_string(index) +
+                     " of " + std::to_string(requests_.size()));
+  return requests_[index];
+}
+
+const Comm::Request& Comm::checked(RequestId id) const {
+  return const_cast<Comm*>(this)->checked(id);
+}
+
+TimePs Comm::retransmit_timeout(std::uint64_t bytes) const {
+  const hw::MachineParams& p = net_.cost().params();
+  return 4 * (net_.cost().message_transfer(bytes) + p.mpi_sw_latency +
+              p.net_latency);
+}
+
+void Comm::maybe_retransmit(Request& req) {
+  if (!req.lost || coord_.now(rank_) < req.complete_stamp) return;
+  const TimePs post = net_.cost().mpi_post_overhead();
+  coord_.advance(rank_, post);
+  if (counters_ != nullptr) {
+    counters_->comm_time += post;
+    counters_->fault_retries += 1;
+    counters_->messages_sent += 1;
+    counters_->bytes_sent += req.bytes;
+  }
+  Message msg;
+  msg.src = rank_;
+  msg.dst = req.peer;
+  msg.tag = req.tag;
+  msg.bytes = req.bytes;
+  // The original transmission never reached a mailbox, so reusing its seq
+  // preserves the MPI non-overtaking order.
+  msg.seq = req.msg_seq;
+  msg.payload = req.payload;  // keep our copy: this attempt may be lost too
+  const int attempt = ++req.attempts;
+  const TimePs injected = net_.reserve_link(rank_, coord_.now(rank_), req.bytes);
+  msg.arrival = injected + net_.cost().params().net_latency +
+                net_.cost().params().mpi_sw_latency;
+  const Network::Delivery d = net_.deliver(std::move(msg), attempt);
+  if (d.status == Network::DeliveryStatus::kLost) {
+    if (counters_ != nullptr) counters_->fault_injected += 1;
+    req.complete_stamp = injected + retransmit_timeout(req.bytes);
+  } else {
+    if (d.status == Network::DeliveryStatus::kDelayed && counters_ != nullptr)
+      counters_->fault_injected += 1;
+    req.lost = false;
+    req.payload.clear();
+    req.complete_stamp = injected;
+    coord_.notify(req.peer, d.arrival);
+  }
 }
 
 RequestId Comm::post_send(int dst, int tag, std::uint64_t bytes,
@@ -71,15 +157,35 @@ RequestId Comm::post_send(int dst, int tag, std::uint64_t bytes,
   req.peer = dst;
   req.tag = tag;
   req.bytes = bytes;
-  // Eager protocol: the send completes locally once the message has been
-  // injected into the network.
-  req.complete_stamp = injected;
+  req.attempts = 1;
+  req.msg_seq = msg.seq;
+  // Keep a retransmit copy of the payload only while loss injection could
+  // drop this message; fault-free runs pay nothing.
+  if (net_.fault_plan() != nullptr &&
+      net_.fault_plan()->has(fault::FaultKind::kMsgLoss))
+    req.payload = msg.payload;
 
-  coord_.notify(dst, msg.arrival);
-  net_.deliver(std::move(msg));
+  const Network::Delivery d = net_.deliver(std::move(msg), 1);
+  if (d.status == Network::DeliveryStatus::kLost) {
+    if (counters_ != nullptr) counters_->fault_injected += 1;
+    // The sender cannot see the loss; it notices the missing ack at a
+    // cost-model-derived timeout and retransmits (maybe_retransmit).
+    // complete_stamp doubles as that deadline while `lost` is set, so
+    // earliest_known_completion() wakes the rank exactly then.
+    req.lost = true;
+    req.complete_stamp = injected + retransmit_timeout(bytes);
+  } else {
+    if (d.status == Network::DeliveryStatus::kDelayed && counters_ != nullptr)
+      counters_->fault_injected += 1;
+    // Eager protocol: the send completes locally once the message has been
+    // injected into the network.
+    req.complete_stamp = injected;
+    req.payload.clear();
+    coord_.notify(dst, d.arrival);
+  }
 
   requests_.push_back(std::move(req));
-  return requests_.size() - 1;
+  return make_id(requests_.size() - 1);
 }
 
 RequestId Comm::isend(int dst, int tag, std::span<const std::byte> data) {
@@ -102,7 +208,7 @@ RequestId Comm::irecv(int src, int tag) {
   req.peer = src;
   req.tag = tag;
   requests_.push_back(std::move(req));
-  return requests_.size() - 1;
+  return make_id(requests_.size() - 1);
 }
 
 void Comm::match_visible() {
@@ -143,14 +249,15 @@ void Comm::match_visible() {
 }
 
 bool Comm::test(RequestId id) {
-  Request& req = requests_.at(id);
+  Request& req = checked(id);
   if (req.done) return true;
   coord_.gate(rank_);
   const TimePs cost = net_.cost().mpi_test_overhead();
   coord_.advance(rank_, cost);
   if (counters_ != nullptr) counters_->comm_time += cost;
   if (req.kind == Kind::kSend) {
-    if (coord_.now(rank_) >= req.complete_stamp) req.done = true;
+    if (req.lost) maybe_retransmit(req);
+    if (!req.lost && coord_.now(rank_) >= req.complete_stamp) req.done = true;
   } else {
     match_visible();
   }
@@ -165,18 +272,20 @@ std::size_t Comm::test_bulk(std::span<const RequestId> ids) {
   coord_.advance(rank_, cost);
   if (counters_ != nullptr) counters_->comm_time += cost;
   match_visible();
-  const TimePs now = coord_.now(rank_);
   std::size_t n_done = 0;
   for (RequestId id : ids) {
-    Request& req = requests_.at(id);
-    if (!req.done && req.kind == Kind::kSend && now >= req.complete_stamp)
-      req.done = true;
+    Request& req = checked(id);
+    if (!req.done && req.kind == Kind::kSend) {
+      if (req.lost) maybe_retransmit(req);  // advances time on retransmit
+      if (!req.lost && coord_.now(rank_) >= req.complete_stamp)
+        req.done = true;
+    }
     if (req.done) ++n_done;
   }
   return n_done;
 }
 
-bool Comm::done(RequestId id) const { return requests_.at(id).done; }
+bool Comm::done(RequestId id) const { return checked(id).done; }
 
 void Comm::wait(RequestId id) {
   const RequestId ids[] = {id};
@@ -197,14 +306,14 @@ void Comm::wait_all(std::span<const RequestId> ids) {
 }
 
 std::vector<std::byte> Comm::take_payload(RequestId id) {
-  Request& req = requests_.at(id);
+  Request& req = checked(id);
   USW_ASSERT_MSG(req.done && req.kind == Kind::kRecv,
                  "take_payload of incomplete or non-receive request");
   return std::move(req.payload);
 }
 
 std::uint64_t Comm::request_bytes(RequestId id) const {
-  const Request& req = requests_.at(id);
+  const Request& req = checked(id);
   USW_ASSERT_MSG(req.done, "request_bytes of incomplete request");
   return req.bytes;
 }
@@ -213,9 +322,11 @@ TimePs Comm::earliest_known_completion(std::span<const RequestId> ids) const {
   TimePs wake = sim::kNever;
   const auto& box = net_.mailbox(rank_);
   for (RequestId id : ids) {
-    const Request& req = requests_.at(id);
+    const Request& req = checked(id);
     if (req.done) continue;
     if (req.kind == Kind::kSend) {
+      // For a lost send this is the retransmit deadline: the rank wakes
+      // exactly when the resend is due.
       wake = std::min(wake, req.complete_stamp);
     } else {
       for (const Message& msg : box)
@@ -299,6 +410,7 @@ void Comm::reset_requests() {
   USW_ASSERT_MSG(pending_requests() == 0,
                  "reset_requests with operations still pending");
   requests_.clear();
+  ++epoch_;  // invalidates every RequestId issued before this call
 }
 
 std::size_t Comm::pending_requests() const {

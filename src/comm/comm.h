@@ -31,6 +31,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/fault.h"
 #include "hw/cost_model.h"
 #include "hw/perf_counters.h"
 #include "sim/coordinator.h"
@@ -38,7 +39,10 @@
 
 namespace usw::comm {
 
-/// Opaque handle to a pending operation, index into the endpoint's table.
+/// Opaque handle to a pending operation. Encodes the slot index plus the
+/// epoch of the request table it belongs to, so a handle kept across
+/// reset_requests() is detected as stale (test/test_bulk/done/... throw
+/// StateError) instead of silently aliasing a fresh request.
 using RequestId = std::size_t;
 
 /// In-flight or arrived message.
@@ -60,8 +64,27 @@ class Network {
   int size() const { return static_cast<int>(mailboxes_.size()); }
   const hw::CostModel& cost() const { return cost_; }
 
+  /// Arms deterministic message faults (msg_delay / msg_loss). The plan
+  /// must outlive the network; nullptr disarms. Decisions hash the global
+  /// message seq, so they are identical across backends and schedulers.
+  void set_fault_plan(const fault::FaultPlan* plan) { fault_ = plan; }
+  const fault::FaultPlan* fault_plan() const { return fault_; }
+
+  /// Forced-success cap: a message's `attempt` at or beyond this bypasses
+  /// the loss roll, so retransmission always terminates.
+  static constexpr int kMaxSendAttempts = 8;
+
+  enum class DeliveryStatus { kDelivered, kDelayed, kLost };
+  struct Delivery {
+    DeliveryStatus status = DeliveryStatus::kDelivered;
+    TimePs arrival = 0;  ///< actual matchable time (incl. injected delay)
+  };
+
   /// Deposits a message (called by the sending rank, token held).
-  void deliver(Message msg);
+  /// `attempt` counts transmissions of this logical message (1-based).
+  /// A kLost result means the message was NOT enqueued; the sender owns
+  /// retransmission. kDelayed messages are enqueued at the later arrival.
+  Delivery deliver(Message msg, int attempt = 1);
 
   std::vector<Message>& mailbox(int rank) { return mailboxes_[static_cast<std::size_t>(rank)]; }
   const std::vector<Message>& mailbox(int rank) const {
@@ -76,6 +99,7 @@ class Network {
 
  private:
   const hw::CostModel& cost_;
+  const fault::FaultPlan* fault_ = nullptr;
   std::vector<std::vector<Message>> mailboxes_;
   std::vector<TimePs> link_free_;  ///< per-rank NIC free time
   std::uint64_t seq_ = 0;
@@ -145,7 +169,9 @@ class Comm {
   double allreduce_max(double value);
   void barrier();
 
-  /// Releases completed request slots (call between timesteps).
+  /// Releases completed request slots (call between timesteps). Any
+  /// RequestId issued before this call becomes stale: using it afterwards
+  /// throws StateError.
   void reset_requests();
 
   /// Number of posted-but-incomplete requests (test hygiene).
@@ -161,13 +187,33 @@ class Comm {
     int peer = -1;
     int tag = -1;
     std::uint64_t bytes = 0;
-    TimePs complete_stamp = 0;  ///< sends: injection done; recvs: arrival
+    /// Sends: injection done (or, while `lost`, the retransmit deadline);
+    /// recvs: arrival.
+    TimePs complete_stamp = 0;
     bool done = false;
-    std::vector<std::byte> payload;
+    bool lost = false;      ///< send dropped by fault injection, not yet resent
+    int attempts = 0;       ///< transmissions so far (sends under faults)
+    std::uint64_t msg_seq = 0;  ///< wire seq, reused verbatim on retransmit
+    std::vector<std::byte> payload;  ///< recv data; sends: retransmit copy
   };
 
   RequestId post_send(int dst, int tag, std::uint64_t bytes,
                       std::vector<std::byte> payload);
+
+  /// Decodes and validates a RequestId; throws StateError if it is from a
+  /// released table (epoch mismatch after reset_requests) or out of range.
+  Request& checked(RequestId id);
+  const Request& checked(RequestId id) const;
+  RequestId make_id(std::size_t index) const;
+
+  /// Timeout after which a (possibly lost) send is retransmitted, derived
+  /// from the cost model: a small multiple of the message's end-to-end
+  /// transfer time, as a real runtime would configure from link specs.
+  TimePs retransmit_timeout(std::uint64_t bytes) const;
+
+  /// If `req` is a lost send whose retransmit deadline has passed, resend
+  /// it (charging post overhead + link occupancy in virtual time).
+  void maybe_retransmit(Request& req);
 
   /// Matches visible mailbox messages against pending receives, respecting
   /// MPI ordering (message send order vs. receive post order).
@@ -180,6 +226,7 @@ class Comm {
   int rank_;
   hw::PerfCounters* counters_;
   std::vector<Request> requests_;
+  std::size_t epoch_ = 0;  ///< bumped by reset_requests; stamps RequestIds
   std::uint32_t coll_seq_ = 0;
 };
 

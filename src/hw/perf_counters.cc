@@ -19,6 +19,10 @@ void PerfCounters::merge(const PerfCounters& other) {
   bytes_sent += other.bytes_sent;
   bytes_received += other.bytes_received;
   reductions += other.reductions;
+  fault_injected += other.fault_injected;
+  fault_retries += other.fault_retries;
+  fault_degraded += other.fault_degraded;
+  fault_restarts += other.fault_restarts;
   kernel_time += other.kernel_time;
   mpe_task_time += other.mpe_task_time;
   comm_time += other.comm_time;
@@ -33,6 +37,7 @@ std::string PerfCounters::summary() const {
      << " dma_out=" << format_bytes(dma_bytes_out)
      << " msgs=" << messages_sent << "/" << messages_received
      << " bytes=" << format_bytes(bytes_sent) << "/" << format_bytes(bytes_received)
+     << " faults=" << fault_injected << "/" << fault_retries
      << " kernel=" << format_duration(kernel_time)
      << " task=" << format_duration(mpe_task_time)
      << " comm=" << format_duration(comm_time)

@@ -53,6 +53,12 @@ struct PerfCounters {
   std::uint64_t bytes_received = 0;
   std::uint64_t reductions = 0;
 
+  // Resilience (src/fault): injected faults and the recovery they drove.
+  std::uint64_t fault_injected = 0;   ///< faults fired (all kinds)
+  std::uint64_t fault_retries = 0;    ///< offload re-runs, DMA re-issues, retransmits
+  std::uint64_t fault_degraded = 0;   ///< CPE groups degraded to MPE-only
+  std::uint64_t fault_restarts = 0;   ///< restarts from checkpoint (controller)
+
   // Virtual time breakdown (MPE perspective).
   TimePs kernel_time = 0;     ///< CPE cluster busy (or MPE in host mode)
   TimePs mpe_task_time = 0;   ///< task management / MPE parts of tasks

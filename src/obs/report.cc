@@ -71,6 +71,23 @@ void print_load_balance(std::ostream& os, const MetricsReport& report) {
   table.print(os);
 }
 
+void print_resilience(std::ostream& os, const RunObservation& run) {
+  // Fault-injection and recovery rollup (src/fault). Absent on fault-free
+  // runs: every counter is zero, so the table would carry no information.
+  hw::PerfCounters sum;
+  for (const RankObservation& r : run.ranks) sum.merge(r.counters);
+  if (sum.fault_injected == 0 && sum.fault_retries == 0 &&
+      sum.fault_degraded == 0 && sum.fault_restarts == 0)
+    return;
+  TextTable table("Resilience (injected faults and recovery, all ranks)");
+  table.set_header({"injected", "retries", "degraded groups", "restarts"});
+  table.add_row({std::to_string(sum.fault_injected),
+                 std::to_string(sum.fault_retries),
+                 std::to_string(sum.fault_degraded),
+                 std::to_string(sum.fault_restarts)});
+  table.print(os);
+}
+
 void print_critical_chain(std::ostream& os, const MetricsReport& report,
                           const RunObservation& run) {
   if (report.steps.empty()) return;
@@ -117,6 +134,8 @@ void print_report(std::ostream& os, const MetricsReport& report,
   print_histograms(os, report);
   os << '\n';
   print_load_balance(os, report);
+  os << '\n';
+  print_resilience(os, run);
   os << '\n';
   print_critical_chain(os, report, run);
 }

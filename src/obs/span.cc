@@ -24,6 +24,7 @@ constexpr KindPair kPairs[] = {
     {SpanKind::kRecv, EventKind::kRecvPosted, EventKind::kRecvDone},
     {SpanKind::kReduce, EventKind::kReduceBegin, EventKind::kReduceEnd},
     {SpanKind::kWait, EventKind::kWaitBegin, EventKind::kWaitEnd},
+    {SpanKind::kFault, EventKind::kFaultBegin, EventKind::kFaultEnd},
 };
 
 /// Matching key: everything that identifies "the same" span at both its
@@ -56,6 +57,7 @@ const char* to_string(SpanKind kind) {
     case SpanKind::kRecv: return "recv";
     case SpanKind::kReduce: return "reduce";
     case SpanKind::kWait: return "wait";
+    case SpanKind::kFault: return "fault";
   }
   return "?";
 }

@@ -27,7 +27,7 @@ namespace usw::obs {
 enum class Lane { kMpe = 0, kCpe = 1, kMpi = 2 };
 const char* to_string(Lane lane);
 
-enum class SpanKind { kTask, kOffload, kKernel, kSend, kRecv, kReduce, kWait };
+enum class SpanKind { kTask, kOffload, kKernel, kSend, kRecv, kReduce, kWait, kFault };
 const char* to_string(SpanKind kind);
 
 /// Lane a span kind renders on / the resource it occupies.

@@ -43,6 +43,19 @@ void RunConfig::validate() const {
   if ((output_interval > 0 || !restart_dir.empty()) &&
       storage != var::StorageMode::kFunctional)
     throw ConfigError("archive output/restart requires functional storage");
+  if (recovery.max_offload_retries < 0)
+    throw ConfigError("recovery.max_offload_retries must be >= 0");
+  if (recovery.degrade_after < 1)
+    throw ConfigError("recovery.degrade_after must be >= 1");
+  if (recovery.retry_backoff < 0)
+    throw ConfigError("recovery.retry_backoff must be >= 0");
+  if (recovery.step_deadline < 0)
+    throw ConfigError("recovery.step_deadline must be >= 0");
+  if (recovery.max_restarts < 0)
+    throw ConfigError("recovery.max_restarts must be >= 0");
+  if (recovery.step_deadline > 0 && output_interval == 0)
+    throw ConfigError("recovery.step_deadline requires checkpointing "
+                      "(output_dir + output_interval)");
 }
 
 TimePs RunResult::step_wall(int s) const {
@@ -103,6 +116,7 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
   const grid::Partition part(level, config.nranks, config.partition, patch_costs);
   const hw::CostModel cost(config.machine);
   comm::Network network(config.nranks, cost);
+  if (!config.faults.empty()) network.set_fault_plan(&config.faults);
 
   task::TaskGraph init_graph;
   app.build_init_graph(init_graph, level);
@@ -170,7 +184,14 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
     sched_config.selection = config.selection;
     sched_config.tile_policy = config.tile_policy;
     sched_config.mpe_kernel_threshold_cells = config.mpe_kernel_threshold_cells;
+    sched_config.recovery = config.recovery;
     if (config.collect_metrics) sched_config.metrics = &out.obs_metrics;
+
+    // Per-rank fault view: armed on the timestep scheduler only — the paper
+    // evaluates steady-state timestepping, and a faulted initialization has
+    // no checkpoint to recover to. Message-level faults live in the Network
+    // (seeded per-seq hashes) and are active throughout.
+    fault::FaultInjector injector(config.faults, rank);
 
     task::CompiledGraph cg_init = init_graph.compile(level, part, rank, config.pattern);
     // Initialization outputs must be allocated with the halo depth the
@@ -246,12 +267,57 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
 
     sched::SchedulerConfig step_config = sched_config;
     step_config.checker = step_checker.get();
+    if (injector.active()) step_config.faults = &injector;
     sched::Scheduler sched(step_config, level, cg_step,
                            comm, cluster, out.counters, out.trace);
-    for (int s = 0; s < config.timesteps; ++s) {
+
+    // Restart-capable step driver. Without a deadline this walks the steps
+    // exactly like a plain for-loop; with recovery.step_deadline set, a
+    // step whose (virtual) wall exceeds the deadline on any rank is rolled
+    // back to the last checkpoint and replayed under a bumped fault
+    // incarnation, up to recovery.max_restarts times.
+    const bool deadline_active =
+        config.recovery.step_deadline > 0 && output_archive.has_value();
+    int completed = 0;   // timesteps finished (relative to start_step)
+    int last_ckpt = -1;  // archive step of the newest checkpoint written
+    int restarts_done = 0;
+    while (completed < config.timesteps) {
+      const int s = completed;
       ctx.step = start_step + s;
       new_dw.set_step(ctx.step + 1);
       const sched::StepStats stats = sched.execute(ctx);
+      if (deadline_active) {
+        // Collective verdict: the restart decision must be identical on
+        // every rank, so it is taken on the max wall across ranks (a
+        // double holds any TimePs this simulation produces exactly).
+        const double wall_max =
+            comm.allreduce_max(static_cast<double>(stats.wall));
+        if (wall_max > static_cast<double>(config.recovery.step_deadline) &&
+            last_ckpt >= 0 && restarts_done < config.recovery.max_restarts) {
+          ++restarts_done;
+          out.counters.fault_restarts += 1;
+          if (config.collect_metrics) out.obs_metrics.count("fault.restarts");
+          // Fresh fault draws for the replay, or a step-pinned fault would
+          // deterministically re-fire forever (max_restarts still bounds
+          // that pathological case).
+          injector.bump_incarnation();
+          const io::StepMeta meta = output_archive->read_step_meta(last_ckpt);
+          new_dw.clear();
+          for (const task::OutputAlloc& oa : cg_step.outputs) {
+            var::CCVariable<double> field = output_archive->read_field(
+                last_ckpt, oa.label->name(), oa.patch_id);
+            new_dw.adopt(
+                oa.label, oa.patch_id, oa.ghost,
+                std::make_unique<var::CCVariable<double>>(std::move(field)));
+          }
+          old_dw.swap_in(new_dw);
+          ctx.time = meta.time;
+          ctx.dt = meta.dt;
+          completed = last_ckpt - start_step;
+          out.step_walls.resize(static_cast<std::size_t>(completed));
+          continue;
+        }
+      }
       out.step_walls.push_back(stats.wall);
       if (output_archive &&
           ((s + 1) % config.output_interval == 0 || s + 1 == config.timesteps)) {
@@ -265,10 +331,12 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
           output_archive->write_field(archive_step, oa.label->name(),
                                       oa.patch_id,
                                       new_dw.get(oa.label, oa.patch_id));
+        last_ckpt = archive_step;
       }
       ctx.time += ctx.dt;
       ctx.dt = app.next_dt(ctx, ctx.dt);
       old_dw.swap_in(new_dw);
+      ++completed;
     }
 
     app.on_rank_complete(ctx, comm, part.patches_of(rank), out.metrics);

@@ -13,6 +13,7 @@
 
 #include "athread/athread.h"
 #include "check/check.h"
+#include "fault/fault.h"
 #include "grid/partition.h"
 #include "hw/machine_params.h"
 #include "hw/perf_counters.h"
@@ -69,6 +70,15 @@ struct RunConfig {
   /// communication, and sweep for orphaned messages at shutdown.
   /// Violations land in RankResult::violations / RunResult::comm_violations.
   check::CheckConfig check;
+
+  /// Deterministic fault injection (uswsim --inject): an empty plan runs
+  /// fault-free. The same plan + seed produces bit-identical faults,
+  /// virtual times, and fields on both execution backends.
+  fault::FaultPlan faults;
+  /// Recovery policy: offload retry/backoff/degradation (scheduler) and
+  /// restart-from-checkpoint on a step deadline (controller; requires
+  /// checkpointing, i.e. output_dir + output_interval).
+  fault::RecoveryConfig recovery;
 
   // ---- Output / checkpoint (functional storage only) ----
   /// Archive directory; empty = no output.

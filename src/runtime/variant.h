@@ -15,7 +15,10 @@ struct Variant {
   bool vectorize = false;
 
   sched::SchedulerConfig scheduler_config() const {
-    return sched::SchedulerConfig{mode, vectorize};
+    sched::SchedulerConfig config;
+    config.mode = mode;
+    config.vectorize = vectorize;
+    return config;
   }
 };
 

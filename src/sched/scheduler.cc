@@ -36,7 +36,9 @@ Scheduler::Scheduler(SchedulerConfig config, const grid::Level& level,
                      athread::CpeCluster& cluster, hw::PerfCounters& counters,
                      sim::Trace& trace)
     : config_(config), level_(level), graph_(graph), comm_(comm),
-      cluster_(cluster), counters_(counters), trace_(trace) {}
+      cluster_(cluster), counters_(counters), trace_(trace),
+      degraded_(static_cast<std::size_t>(cluster.n_groups()), 0),
+      fail_streak_(static_cast<std::size_t>(cluster.n_groups()), 0) {}
 
 var::DataWarehouse& Scheduler::dw_for(task::TaskContext& ctx,
                                       task::WhichDW which) const {
@@ -270,6 +272,9 @@ void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group)
   const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
   const kern::KernelVariants& kernel = dt.task->kernel();
   const grid::Patch& patch = level_.patch(dt.patch_id);
+  int attempt = 0;
+  if (config_.faults != nullptr)
+    attempt = ++state_[static_cast<std::size_t>(dt_index)].offload_attempts;
   TileExecArgs args;
   args.kernel = &kernel;
   args.env = env_of(ctx);
@@ -283,6 +288,13 @@ void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group)
   args.packed_tiles = config_.packed_tiles;
   args.cost_scale = kernel.scale_for(patch);
   args.policy = config_.tile_policy;
+  if (config_.faults != nullptr) {
+    args.fault.plan = &config_.faults->plan();
+    args.fault.incarnation = config_.faults->incarnation();
+    args.fault.rank = comm_.rank();
+    args.fault.step = step_;
+    args.fault.task = dt_index;
+  }
   // Plan the tile->CPE assignment once per offload on the MPE and hand the
   // same plan to the job, the race detector, and the telemetry, so all
   // three see the assignment actually executed.
@@ -309,7 +321,29 @@ void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group)
   const std::string label = dt.task->name() + " p" + std::to_string(dt.patch_id);
   const sim::EventIds ids{step_, dt_index, dt.patch_id, -1, -1, group, 0};
   trace_.record(comm_.now(), sim::EventKind::kOffloadBegin, label, ids);
-  cluster_.spawn(make_tile_job(args, plan), group);
+  athread::CpeJob job = make_tile_job(args, plan);
+  if (config_.faults != nullptr) {
+    if (const auto stall = config_.faults->cpe_stall(step_, dt_index, attempt,
+                                                     cluster_.group_size())) {
+      // One CPE of this offload runs `factor` x slower: charge its extra
+      // busy time after the body. The decision was made here on the MPE
+      // (hash of stable ids), so both backends wrap identically; the
+      // rounding below is a deterministic double->int conversion.
+      counters_.fault_injected += 1;
+      if (config_.metrics != nullptr) config_.metrics->count("fault.injected");
+      trace_.record(comm_.now(), sim::EventKind::kFaultBegin,
+                    "cpe_stall " + label, ids);
+      trace_.record(comm_.now(), sim::EventKind::kFaultEnd,
+                    "cpe_stall " + label, ids);
+      job = [inner = std::move(job), s = *stall](athread::CpeContext& cpe) {
+        inner(cpe);
+        if (cpe.cpe_id() == s.cpe)
+          cpe.charge(static_cast<TimePs>(static_cast<double>(cpe.busy()) *
+                                         (s.factor - 1.0)));
+      };
+    }
+  }
+  cluster_.spawn(std::move(job), group);
   trace_.record(comm_.now(), sim::EventKind::kKernelBegin, label, ids);
   // completion_time() blocks until the workers publish under the threads
   // backend; only pay for it when the event would actually be recorded,
@@ -347,6 +381,80 @@ void Scheduler::sample_offload_imbalance(int group) {
   // Max/mean busy ratio, the classic load-imbalance factor (1.0 = perfect).
   config_.metrics->sample("offload.cpe_imbalance",
                           mean > 0.0 ? static_cast<double>(max) / mean : 1.0);
+}
+
+int Scheduler::first_usable_group() const {
+  for (int g = 0; g < cluster_.n_groups(); ++g)
+    if (!group_degraded(g)) return g;
+  return -1;
+}
+
+int Scheduler::first_free_usable_group() const {
+  for (int g = 0; g < cluster_.n_groups(); ++g)
+    if (!group_degraded(g) && offloaded_[static_cast<std::size_t>(g)] < 0)
+      return g;
+  return -1;
+}
+
+bool Scheduler::offload_fault_check(int dt_index, int group) {
+  if (config_.faults == nullptr) return false;
+  const int attempt =
+      state_[static_cast<std::size_t>(dt_index)].offload_attempts;
+  if (!config_.faults->offload_fails(step_, dt_index, attempt)) {
+    fail_streak_[static_cast<std::size_t>(group)] = 0;
+    return false;
+  }
+  counters_.fault_injected += 1;
+  if (config_.metrics != nullptr) config_.metrics->count("fault.injected");
+  const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
+  const sim::EventIds ids{step_, dt_index, dt.patch_id, -1, -1, group, 0};
+  const std::string label =
+      "offload_fail " + dt.task->name() + " p" + std::to_string(dt.patch_id);
+  trace_.record(comm_.now(), sim::EventKind::kFaultBegin, label, ids);
+  trace_.record(comm_.now(), sim::EventKind::kFaultEnd, label, ids);
+  if (++fail_streak_[static_cast<std::size_t>(group)] >=
+          config_.recovery.degrade_after &&
+      !group_degraded(group)) {
+    degraded_[static_cast<std::size_t>(group)] = 1;
+    counters_.fault_degraded += 1;
+    if (config_.metrics != nullptr) config_.metrics->count("fault.degraded");
+  }
+  return true;
+}
+
+void Scheduler::charge_retry_backoff(int dt_index, int attempt) {
+  TimePs backoff = config_.recovery.retry_backoff;
+  for (int a = 1; a < attempt; ++a) backoff *= 2;
+  const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
+  const sim::EventIds ids{step_, dt_index, dt.patch_id, -1, -1, -1, 0};
+  trace_.record(comm_.now(), sim::EventKind::kFaultBegin, "retry backoff", ids);
+  comm_.advance(backoff);
+  counters_.mpe_task_time += backoff;
+  trace_.record(comm_.now(), sim::EventKind::kFaultEnd, "retry backoff", ids);
+}
+
+void Scheduler::recover_offload(task::TaskContext& ctx, int dt_index, int group) {
+  const int attempt =
+      state_[static_cast<std::size_t>(dt_index)].offload_attempts;
+  // Retry on the same group, or — once it is degraded — on a spare one.
+  const int retry_group =
+      group_degraded(group) ? first_free_usable_group() : group;
+  if (attempt < config_.recovery.max_offload_retries && retry_group >= 0) {
+    counters_.fault_retries += 1;
+    if (config_.metrics != nullptr) config_.metrics->count("fault.retries");
+    charge_retry_backoff(dt_index, attempt);
+    // offload_stencil / run_stencil_on_mpe close the checker's task scope,
+    // so a recovery pass must re-open it.
+    if (config_.checker != nullptr) config_.checker->begin_task(dt_index);
+    offload_stencil(ctx, dt_index, retry_group);
+    return;
+  }
+  // Out of retries (or out of CPE groups): run the kernel on the MPE. The
+  // stencil kernels are pure, so the re-execution overwrites the offload's
+  // outputs with identical values.
+  if (config_.checker != nullptr) config_.checker->begin_task(dt_index);
+  run_stencil_on_mpe(ctx, dt_index);
+  on_finished(ctx, dt_index);
 }
 
 void Scheduler::run_mpe_body(task::TaskContext& ctx, int dt_index) {
@@ -497,28 +605,56 @@ void Scheduler::run_loop_sync(task::TaskContext& ctx) {
     if (t >= 0) {
       mpe_part(ctx, t);
       if (is_stencil(t)) {
-        if (config_.mode == SchedulerMode::kMpeOnly || !is_offloadable(t)) {
+        // Degradation can retire every CPE group; those stencils run on
+        // the MPE like sub-threshold kernels.
+        const int g0 = (config_.mode == SchedulerMode::kMpeOnly ||
+                        !is_offloadable(t))
+                           ? -1
+                           : first_usable_group();
+        if (g0 < 0) {
           run_stencil_on_mpe(ctx, t);
         } else {
           // Synchronous MPE+CPE: offload, then spin on the flag
-          // (Sec V-C, "synchronous MPE+CPE mode"). Always group 0. The spin
-          // is recorded as a wait span: it is exactly the MPE idle time the
-          // async scheduler reclaims, and the overlap-efficiency metric
-          // depends on seeing it.
+          // (Sec V-C, "synchronous MPE+CPE mode"). Group 0 unless it has
+          // been degraded by fault injection. The spin is recorded as a
+          // wait span: it is exactly the MPE idle time the async scheduler
+          // reclaims, and the overlap-efficiency metric depends on seeing
+          // it.
           const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(t)];
           const std::string label =
               dt.task->name() + " p" + std::to_string(dt.patch_id);
-          offload_stencil(ctx, t, 0);
-          const TimePs before = comm_.now();
-          trace_.record(before, sim::EventKind::kWaitBegin, "cpe-spin",
-                        sim::EventIds{step_, t, dt.patch_id, -1, -1, 0, 0});
-          cluster_.join(0);
-          sample_offload_imbalance(0);
-          trace_.record(comm_.now(), sim::EventKind::kWaitEnd, "cpe-spin",
-                        sim::EventIds{step_, t, dt.patch_id, -1, -1, 0, 0});
-          trace_.record(comm_.now(), sim::EventKind::kOffloadEnd, label,
-                        sim::EventIds{step_, t, dt.patch_id, -1, -1, 0, 0});
-          offloaded_[0] = -1;
+          int g = g0;
+          for (;;) {
+            offload_stencil(ctx, t, g);
+            const TimePs before = comm_.now();
+            trace_.record(before, sim::EventKind::kWaitBegin, "cpe-spin",
+                          sim::EventIds{step_, t, dt.patch_id, -1, -1, g, 0});
+            cluster_.join(g);
+            sample_offload_imbalance(g);
+            trace_.record(comm_.now(), sim::EventKind::kWaitEnd, "cpe-spin",
+                          sim::EventIds{step_, t, dt.patch_id, -1, -1, g, 0});
+            trace_.record(comm_.now(), sim::EventKind::kOffloadEnd, label,
+                          sim::EventIds{step_, t, dt.patch_id, -1, -1, g, 0});
+            offloaded_[static_cast<std::size_t>(g)] = -1;
+            if (!offload_fault_check(t, g)) break;
+            const int attempt =
+                state_[static_cast<std::size_t>(t)].offload_attempts;
+            const int retry_group =
+                group_degraded(g) ? first_usable_group() : g;
+            if (attempt < config_.recovery.max_offload_retries &&
+                retry_group >= 0) {
+              counters_.fault_retries += 1;
+              if (config_.metrics != nullptr)
+                config_.metrics->count("fault.retries");
+              charge_retry_backoff(t, attempt);
+              if (config_.checker != nullptr) config_.checker->begin_task(t);
+              g = retry_group;
+              continue;
+            }
+            if (config_.checker != nullptr) config_.checker->begin_task(t);
+            run_stencil_on_mpe(ctx, t);
+            break;
+          }
         }
       } else {
         run_mpe_body(ctx, t);
@@ -551,15 +687,19 @@ void Scheduler::run_loop_async(task::TaskContext& ctx) {
         trace_.record(comm_.now(), sim::EventKind::kOffloadEnd,
                       fdt.task->name() + " p" + std::to_string(fdt.patch_id),
                       sim::EventIds{step_, finished, fdt.patch_id, -1, -1, g, 0});
-        on_finished(ctx, finished);
+        if (offload_fault_check(finished, g))
+          recover_offload(ctx, finished, g);
+        else
+          on_finished(ctx, finished);
         progressed = true;
       }
     }
-    // 3(b)ii-iv: fill every free group with a ready offloadable task —
-    // process its MPE part, offload, and return immediately.
+    // 3(b)ii-iv: fill every free (non-degraded) group with a ready
+    // offloadable task — process its MPE part, offload, return immediately.
     bool offloaded_now = false;
     for (int g = 0; g < groups; ++g) {
-      if (offloaded_[static_cast<std::size_t>(g)] >= 0) continue;
+      if (offloaded_[static_cast<std::size_t>(g)] >= 0 || group_degraded(g))
+        continue;
       const int s = pick_ready(1);
       if (s < 0) break;
       mpe_part(ctx, s);
@@ -569,12 +709,14 @@ void Scheduler::run_loop_async(task::TaskContext& ctx) {
     if (offloaded_now) continue;
     // 3c: test posted sends and receives.
     if (progress_comm(ctx)) progressed = true;
-    // 3d: execute other MPE tasks (reductions, small kernels).
-    const int m = pick_ready(0);
+    // 3d: execute other MPE tasks (reductions, small kernels) — and, once
+    // every CPE group has been degraded, the stencils too.
+    int m = pick_ready(0);
+    if (m < 0 && first_usable_group() < 0) m = pick_ready(1);
     if (m >= 0) {
       mpe_part(ctx, m);
       if (is_stencil(m))
-        run_stencil_on_mpe(ctx, m);  // below the small-kernel threshold
+        run_stencil_on_mpe(ctx, m);  // sub-threshold, or all groups degraded
       else
         run_mpe_body(ctx, m);
       on_finished(ctx, m);

@@ -33,6 +33,7 @@
 
 #include "athread/athread.h"
 #include "comm/comm.h"
+#include "fault/fault.h"
 #include "hw/perf_counters.h"
 #include "sched/tile_policy.h"
 #include "sim/trace.h"
@@ -103,6 +104,16 @@ struct SchedulerConfig {
   /// and tile/offload size samples into the registry as it runs. Null (the
   /// default) costs nothing.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Opt-in fault injection (src/fault): deterministic CPE stalls, offload
+  /// failures and DMA errors for this rank. Null (the default) runs
+  /// fault-free and costs nothing.
+  const fault::FaultInjector* faults = nullptr;
+
+  /// Recovery policy for injected offload failures: retry with exponential
+  /// backoff on the same (or a spare) CPE group, then degrade the group to
+  /// MPE-only execution after repeated failures.
+  fault::RecoveryConfig recovery;
 };
 
 /// Per-timestep result for one rank.
@@ -129,6 +140,7 @@ class Scheduler {
     int pending_preds = 0;
     int pending_recvs = 0;
     bool done = false;
+    int offload_attempts = 0;  ///< offloads tried (faults active only)
   };
 
   // --- step phases ---
@@ -157,6 +169,25 @@ class Scheduler {
   /// registry (max/mean busy, idle fraction). Called from the completion
   /// paths, where both backends observe the same scheduler state.
   void sample_offload_imbalance(int group);
+  // --- resilience (src/fault) ---
+  /// Lowest non-degraded CPE group, or -1 when all are degraded.
+  int first_usable_group() const;
+  /// Lowest non-degraded group with no offload in flight, or -1.
+  int first_free_usable_group() const;
+  bool group_degraded(int group) const {
+    return !degraded_.empty() && degraded_[static_cast<std::size_t>(group)];
+  }
+  /// Consults the injector about the just-completed offload of `dt_index`
+  /// on `group`. On an injected failure: counts it, updates the group's
+  /// failure streak, and degrades the group at the configured threshold.
+  /// Returns true if the offload failed (caller drives retry/fallback).
+  bool offload_fault_check(int dt_index, int group);
+  /// Charges the exponential retry backoff before re-offloading attempt
+  /// `attempt` + 1, bracketed by fault trace spans.
+  void charge_retry_backoff(int dt_index, int attempt);
+  /// Retry a failed offload (async path): re-offload with backoff onto
+  /// `group` or a spare, or fall back to the MPE when out of retries.
+  void recover_offload(task::TaskContext& ctx, int dt_index, int group);
   void run_mpe_body(task::TaskContext& ctx, int dt_index);
   void on_finished(task::TaskContext& ctx, int dt_index);
   /// Tests outstanding receives/sends; unpacks completed receives.
@@ -190,6 +221,11 @@ class Scheduler {
   int done_count_ = 0;
   int step_ = -1;                          ///< current ctx.step (-1 = init)
   std::vector<int> offloaded_;             ///< per CPE group: dt index or -1
+
+  // Resilience state, persistent across steps (a degraded group stays
+  // degraded for the remainder of the run).
+  std::vector<char> degraded_;             ///< per CPE group
+  std::vector<int> fail_streak_;           ///< consecutive offload failures
 };
 
 }  // namespace usw::sched

@@ -44,6 +44,17 @@ hw::KernelCost tile_kernel_cost(const kern::KernelVariants& kernel,
   return base.scaled(kernel.scale_for_tile(tile));
 }
 
+/// Injected DMA error on tile `t`? A failed athread_get is detected by the
+/// CPE and re-issued: the recovery charges one extra input transfer and
+/// counts in this CPE's private slot, so it is purely local and
+/// order-independent (the numerics are untouched — the retry rereads the
+/// same main-memory bytes).
+bool tile_dma_error(const TileExecArgs& args, int t) {
+  return args.fault.plan != nullptr &&
+         args.fault.plan->dma_error(args.fault.incarnation, args.fault.rank,
+                                    args.fault.step, args.fault.task, t);
+}
+
 /// Synchronous per-tile loop: the paper's current implementation
 /// (Sec V-D: "does not make use of the fact that the memory-LDM transfer
 /// can be asynchronous").
@@ -67,6 +78,13 @@ void run_sync(const TileExecArgs& args, athread::CpeContext& ctx,
                           kern::FieldView(out_buf.data(), tile));
     ctx.get(nullptr, nullptr,
             static_cast<std::size_t>(ghosted.volume()) * sizeof(double), strided);
+    if (tile_dma_error(args, t)) {
+      ctx.get(nullptr, nullptr,
+              static_cast<std::size_t>(ghosted.volume()) * sizeof(double),
+              strided);
+      ctx.count_fault_injected();
+      ctx.count_fault_retry();
+    }
     ctx.compute(static_cast<std::uint64_t>(tile.volume()), cost,
                 args.vectorize, kernel.use_ieee_exp);
     ctx.put(nullptr, nullptr,
@@ -122,6 +140,13 @@ void run_double_buffered(const TileExecArgs& args, athread::CpeContext& ctx,
     ctx.count_dma(in_bytes(i), out_bytes(i));
     ctx.count_compute(static_cast<std::uint64_t>(tile.volume()), cost);
     ctx.count_tile();
+    // A failed get stalls the pipeline for one exposed re-transfer before
+    // this tile's stage can start.
+    if (tile_dma_error(args, mine[static_cast<std::size_t>(i)])) {
+      ctx.charge(ctx.dma_cost(in_bytes(i), strided));
+      ctx.count_fault_injected();
+      ctx.count_fault_retry();
+    }
 
     // Timing: prologue get for tile 0 is exposed; afterwards each stage
     // takes max(compute_i, get_{i+1} + put_{i-1}); the last put is exposed.

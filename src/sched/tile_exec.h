@@ -24,12 +24,25 @@
 #include <vector>
 
 #include "athread/athread.h"
+#include "fault/fault.h"
 #include "grid/box.h"
 #include "grid/tiling.h"
 #include "kern/kernel.h"
 #include "sched/tile_policy.h"
 
 namespace usw::sched {
+
+/// Identity of an offload for deterministic DMA-error injection. The plan
+/// is consulted per tile with a pure hash, so the serial and threads
+/// backends (and any tile policy) see the same errors. Inactive when
+/// `plan` is null.
+struct TileFaultProbe {
+  const fault::FaultPlan* plan = nullptr;
+  std::uint64_t incarnation = 0;
+  int rank = -1;
+  int step = -1;
+  int task = -1;
+};
 
 struct TileExecArgs {
   const kern::KernelVariants* kernel = nullptr;
@@ -44,6 +57,7 @@ struct TileExecArgs {
   bool packed_tiles = false; ///< contiguous tile transfers (Sec IX)
   double cost_scale = 1.0;   ///< per-patch work multiplier
   TilePolicy policy = TilePolicy::kStaticZ;  ///< tile->CPE assignment
+  TileFaultProbe fault;      ///< deterministic DMA-error injection
 };
 
 /// Plans the tile->CPE assignment the job will execute: args.policy applied

@@ -21,6 +21,8 @@ const char* to_string(EventKind kind) {
     case EventKind::kReduceEnd: return "reduce_end";
     case EventKind::kWaitBegin: return "wait_begin";
     case EventKind::kWaitEnd: return "wait_end";
+    case EventKind::kFaultBegin: return "fault_begin";
+    case EventKind::kFaultEnd: return "fault_end";
   }
   return "unknown";
 }

@@ -32,6 +32,8 @@ enum class EventKind {
   kReduceEnd,
   kWaitBegin,
   kWaitEnd,
+  kFaultBegin,     // injected fault / recovery action (src/fault)
+  kFaultEnd,
 };
 
 const char* to_string(EventKind kind);

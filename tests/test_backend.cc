@@ -242,6 +242,10 @@ void expect_counters_identical(const hw::PerfCounters& a,
   EXPECT_EQ(a.mpe_task_time, b.mpe_task_time);
   EXPECT_EQ(a.comm_time, b.comm_time);
   EXPECT_EQ(a.wait_time, b.wait_time);
+  EXPECT_EQ(a.fault_injected, b.fault_injected);
+  EXPECT_EQ(a.fault_retries, b.fault_retries);
+  EXPECT_EQ(a.fault_degraded, b.fault_degraded);
+  EXPECT_EQ(a.fault_restarts, b.fault_restarts);
 }
 
 TEST(BackendStress, ManySmallOffloadsAcrossGroups) {
@@ -414,6 +418,71 @@ TEST(BackendEquivalencePolicies, EveryTilePolicyMatchesAcrossBackends) {
     fs::remove_all(dir_threads);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Fault injection must not break backend equivalence: every injection
+// decision is a pure hash of stable identifiers, so serial and threads see
+// the same faults, run the same recovery, and stay bit-identical — fields,
+// virtual walls, and fault counters included.
+
+class BackendEquivalenceFaults : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendEquivalenceFaults, InjectedRunsMatchAcrossBackends) {
+  const int seed = GetParam();
+  const auto run = [&](athread::Backend backend, const std::string& dir) {
+    runtime::RunConfig config;
+    config.problem = runtime::tiny_problem({2, 2, 1}, {8, 8, 8});
+    config.variant = runtime::variant_by_name("acc_simd.async");
+    config.backend = backend;
+    config.backend_threads = 4;
+    config.nranks = 2;
+    config.timesteps = 4;
+    config.cpe_groups = 2;
+    config.faults = fault::FaultPlan::parse(
+        "cpe_stall:p=0.1:factor=6,offload_fail:p=0.1,dma_error:p=0.05,"
+        "msg_delay:p=0.1:factor=12,msg_loss:p=0.1",
+        static_cast<std::uint64_t>(seed));
+    config.output_dir = dir;
+    config.output_interval = 2;
+    return runtime::run_simulation(config, apps::burgers::BurgersApp());
+  };
+  const std::string base =
+      ::testing::TempDir() + "/usw_fault_eq_seed" + std::to_string(seed);
+  const std::string dir_serial = base + "_serial";
+  const std::string dir_threads = base + "_threads";
+  fs::remove_all(dir_serial);
+  fs::remove_all(dir_threads);
+
+  const runtime::RunResult serial = run(athread::Backend::kSerial, dir_serial);
+  const runtime::RunResult threads =
+      run(athread::Backend::kThreads, dir_threads);
+
+  // The plan must actually have fired, or this test proves nothing.
+  EXPECT_GT(serial.merged_counters().fault_injected, 0u) << "seed " << seed;
+
+  ASSERT_EQ(serial.ranks.size(), threads.ranks.size());
+  for (std::size_t r = 0; r < serial.ranks.size(); ++r) {
+    EXPECT_EQ(serial.ranks[r].init_wall, threads.ranks[r].init_wall);
+    EXPECT_EQ(serial.ranks[r].step_walls, threads.ranks[r].step_walls);
+    EXPECT_EQ(serial.ranks[r].metrics, threads.ranks[r].metrics);
+    expect_counters_identical(serial.ranks[r].counters,
+                              threads.ranks[r].counters);
+  }
+  const auto tree_serial = slurp_tree(dir_serial);
+  const auto tree_threads = slurp_tree(dir_threads);
+  ASSERT_FALSE(tree_serial.empty());
+  ASSERT_EQ(tree_serial.size(), tree_threads.size());
+  for (const auto& [name, bytes] : tree_serial) {
+    auto it = tree_threads.find(name);
+    ASSERT_NE(it, tree_threads.end()) << name;
+    EXPECT_TRUE(bytes == it->second) << "archive file differs: " << name;
+  }
+  fs::remove_all(dir_serial);
+  fs::remove_all(dir_threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(InjectionSeeds, BackendEquivalenceFaults,
+                         ::testing::Values(1, 7, 42));
 
 TEST(BackendTrace, SerialAndThreadsRecordIdenticalEvents) {
   // With tracing on, the scheduler queries completion_time right after

@@ -279,6 +279,43 @@ TEST(Comm, SenderNicSerializesBurstsOfSends) {
   });
 }
 
+TEST(Comm, StaleRequestIdThrowsAfterReset) {
+  // reset_requests releases the table; every RequestId issued before it is
+  // stale and must be rejected loudly (StateError), not silently resolve to
+  // a recycled slot — the bug class this contract exists to kill.
+  with_ranks(2, [](Comm& comm, int rank) {
+    if (rank == 0) {
+      const RequestId s = comm.isend(1, 3, bytes_of("data"));
+      comm.wait(s);
+      comm.reset_requests();
+      EXPECT_THROW(comm.test(s), StateError);
+      EXPECT_THROW(comm.done(s), StateError);
+      EXPECT_THROW(comm.take_payload(s), StateError);
+      const RequestId ids[] = {s};
+      EXPECT_THROW(comm.test_bulk(ids), StateError);
+      EXPECT_THROW(comm.earliest_known_completion(ids), StateError);
+      // Requests posted after the reset mint ids of the new epoch and work.
+      const RequestId s2 = comm.isend(1, 4, bytes_of("more"));
+      comm.wait(s2);
+    } else {
+      const RequestId r = comm.irecv(0, 3);
+      comm.wait(r);
+      (void)comm.take_payload(r);
+      const RequestId r2 = comm.irecv(0, 4);
+      comm.wait(r2);
+    }
+  });
+}
+
+TEST(Comm, OutOfRangeRequestIdThrows) {
+  with_ranks(1, [](Comm& comm, int) {
+    EXPECT_THROW(comm.test(RequestId{0}), StateError);
+    EXPECT_THROW(comm.done(RequestId{12345}), StateError);
+    const RequestId ids[] = {RequestId{2}};
+    EXPECT_THROW(comm.test_bulk(ids), StateError);
+  });
+}
+
 TEST(Comm, DistinctSendersDoNotSerializeOnEachOther) {
   // The NIC is per rank: messages from two different senders to one
   // receiver may overlap on the wire.
