@@ -30,6 +30,7 @@
 #include "obs/report.h"
 #include "runtime/controller.h"
 #include "runtime/observe.h"
+#include "schedpt/schedule.h"
 #include "support/options.h"
 #include "support/table.h"
 
@@ -78,7 +79,22 @@ void print_help() {
       "  --trace                       record + dump rank 0's event trace\n"
       "  --validate                    check every DW access against the\n"
       "                                task graph and lint the comm plan;\n"
+      "                                also runs the happens-before race\n"
+      "                                oracle over offload fork/join edges;\n"
       "                                exit 2 if violations are found\n"
+      "\n"
+      "schedule exploration (src/schedpt; numerics are bit-equal across\n"
+      "schedules on fault-free runs):\n"
+      "  --schedule=fuzz:seed=N[:file=F]\n"
+      "                                perturb rank-pick, message-match,\n"
+      "                                offload-poll and tile-grab decisions\n"
+      "                                within causal bounds; optionally\n"
+      "                                record the schedule taken to F\n"
+      "  --schedule=record:file=F      take the canonical schedule and\n"
+      "                                record every decision point to F\n"
+      "  --schedule=replay:file=F      re-execute a recorded schedule\n"
+      "                                exactly; a divergent run fails fast\n"
+      "                                naming the first mismatched point\n"
       "\n"
       "observability (each implies trace + metrics collection):\n"
       "  --trace-json=FILE             Chrome/Perfetto trace of every rank\n"
@@ -194,6 +210,7 @@ int main(int argc, char** argv) {
       config.collect_metrics = true;
     }
     config.check.enabled = opts.get_bool("validate", false);
+    config.schedule = schedpt::ScheduleSpec::parse(opts.get("schedule", ""));
     config.output_dir = opts.get("output", "");
     config.output_interval =
         static_cast<int>(get_int_min(opts, "output-interval", 0, 0));
@@ -231,8 +248,25 @@ int main(int argc, char** argv) {
                 sched::to_string(config.tile_policy));
     if (!config.faults.empty())
       std::printf("fault injection: %s\n", config.faults.describe().c_str());
+    // Every schedule-exploration line starts with "schedule" so trace
+    // comparisons across modes can strip them (grep -v '^schedule').
+    if (config.schedule.mode != schedpt::Mode::kDefault)
+      std::printf("schedule: %s\n", config.schedule.describe().c_str());
 
     const runtime::RunResult result = runtime::run_simulation(config, *app);
+
+    if (config.schedule.mode != schedpt::Mode::kDefault) {
+      const schedpt::PointCounters& pc = result.schedule_points;
+      std::printf("schedule points: rank_pick=%llu msg_match=%llu "
+                  "offload_poll=%llu tile_grab=%llu\n",
+                  static_cast<unsigned long long>(pc.of(schedpt::PointKind::kRankPick)),
+                  static_cast<unsigned long long>(pc.of(schedpt::PointKind::kMsgMatch)),
+                  static_cast<unsigned long long>(pc.of(schedpt::PointKind::kOffloadPoll)),
+                  static_cast<unsigned long long>(pc.of(schedpt::PointKind::kTileGrab)));
+      if (!config.schedule.file.empty() &&
+          config.schedule.mode != schedpt::Mode::kReplay)
+        std::printf("schedule file written: %s\n", config.schedule.file.c_str());
+    }
 
     TextTable table("timing (virtual)");
     table.set_header({"metric", "value"});

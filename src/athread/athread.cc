@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "schedpt/schedule.h"
 #include "support/error.h"
 
 namespace usw::athread {
@@ -255,6 +256,27 @@ void CpeCluster::join(int g) {
   coord_.wait_until(rank_, group.completion);
   if (counters_ != nullptr) counters_->wait_time += coord_.now(rank_) - before;
   group.in_flight = false;
+}
+
+std::vector<int> CpeCluster::poll_order() const {
+  std::vector<int> order;
+  if (schedule_ == nullptr) {
+    // Canonical sweep: every group, ascending — byte-identical to the
+    // historical poll loop.
+    order.resize(static_cast<std::size_t>(n_groups()));
+    for (int g = 0; g < n_groups(); ++g)
+      order[static_cast<std::size_t>(g)] = g;
+    return order;
+  }
+  for (int g = 0; g < n_groups(); ++g)
+    if (group(g).in_flight) order.push_back(g);
+  if (order.size() > 1) {
+    const int k =
+        schedule_->choose(schedpt::PointKind::kOffloadPoll, rank_,
+                          static_cast<int>(order.size()));
+    std::rotate(order.begin(), order.begin() + k, order.end());
+  }
+  return order;
 }
 
 }  // namespace usw::athread

@@ -229,6 +229,21 @@ class CpeCluster {
   /// synchronous MPE+CPE mode's spin loop.
   void join(int g = 0);
 
+  /// Installs a schedule controller for the kOffloadPoll point: which
+  /// in-flight group's completion flag the async scheduler polls first.
+  /// The controller must outlive the cluster; nullptr disarms.
+  void set_schedule(schedpt::ScheduleController* schedule) {
+    schedule_ = schedule;
+  }
+
+  /// Group polling order for a completion sweep. Without a controller this
+  /// is every group in ascending id — the canonical order. With one, it is
+  /// the in-flight groups, rotated by a kOffloadPoll decision when more
+  /// than one offload is in flight (polling order only changes which
+  /// completion the MPE *processes* first; each group's completion time is
+  /// fixed at spawn, so numerics are unaffected).
+  std::vector<int> poll_order() const;
+
  private:
   struct Group {
     // MPE-owned protocol state (never touched by workers).
@@ -266,6 +281,7 @@ class CpeCluster {
   sim::Coordinator& coord_;
   int rank_;
   hw::PerfCounters* counters_;
+  schedpt::ScheduleController* schedule_ = nullptr;
   Backend backend_;
   hw::Ldm ldm_;                       ///< kSerial: shared, reset per CPE
   std::vector<hw::Ldm> worker_ldms_;  ///< kThreads: one per pool worker

@@ -19,6 +19,7 @@ const char* to_string(ViolationKind kind) {
     case ViolationKind::kTileCoverage: return "tile-coverage";
     case ViolationKind::kTagAmbiguity: return "tag-ambiguity";
     case ViolationKind::kOrphanMessage: return "orphan-message";
+    case ViolationKind::kUnorderedAccess: return "unordered-access";
   }
   return "?";
 }

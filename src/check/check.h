@@ -51,6 +51,7 @@ struct CheckConfig {
   bool overlap = true;   ///< (c): write-write overlap between unordered tasks
   bool tiles = true;     ///< (c): CPE tile-partition race detector
   bool comm = true;      ///< (d): tag ambiguity + shutdown orphan lint
+  bool hb = true;        ///< dynamic happens-before race oracle (hb.h)
   /// Throw ValidationError at the first violation instead of collecting.
   bool fail_fast = false;
 };
@@ -64,6 +65,7 @@ enum class ViolationKind {
   kTileCoverage,            ///< tile partition does not cover the patch
   kTagAmbiguity,            ///< two messages share a (peer, tag) pair
   kOrphanMessage,           ///< message sent but never received
+  kUnorderedAccess,         ///< accesses with no dynamic happens-before edge
 };
 
 const char* to_string(ViolationKind kind);

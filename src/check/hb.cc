@@ -1,0 +1,129 @@
+#include "check/hb.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace usw::check {
+
+void HbChecker::begin_step(int step) {
+  step_ = step;
+  clocks_.assign(1, VectorClock{0});
+  fork_points_.assign(1, 0);
+  group_thread_.clear();
+  accesses_.clear();
+}
+
+void HbChecker::fork(int group, std::uint64_t sched_point) {
+  USW_ASSERT_MSG(group_thread_.find(group) == group_thread_.end(),
+                 "fork with an offload already in flight on this group");
+  const int t = static_cast<int>(clocks_.size());
+  // The child inherits the MPE's knowledge as of the spawn: everything the
+  // MPE did before the fork happens-before everything the child does. The
+  // MPE ticks AFTER the copy — its post-fork accesses must carry a clock
+  // entry the child never saw, or they would compare as ordered.
+  VectorClock& mpe = clocks_[0];
+  VectorClock child = mpe;
+  child.resize(static_cast<std::size_t>(t) + 1, 0);
+  child[static_cast<std::size_t>(t)] = 1;
+  mpe[0] += 1;
+  clocks_.push_back(std::move(child));
+  fork_points_.push_back(sched_point);
+  group_thread_[group] = t;
+  ++forks_;
+}
+
+void HbChecker::join(int group) {
+  const auto it = group_thread_.find(group);
+  USW_ASSERT_MSG(it != group_thread_.end(), "join with no offload in flight");
+  const VectorClock& child = clocks_[static_cast<std::size_t>(it->second)];
+  VectorClock& mpe = clocks_[0];
+  // The MPE absorbs the child's knowledge: everything the offload did
+  // happens-before everything the MPE does after observing completion.
+  if (mpe.size() < child.size()) mpe.resize(child.size(), 0);
+  for (std::size_t i = 0; i < child.size(); ++i)
+    mpe[i] = std::max(mpe[i], child[i]);
+  mpe[0] += 1;
+  group_thread_.erase(it);
+}
+
+int HbChecker::thread_of(int group) const {
+  if (group < 0) return 0;
+  const auto it = group_thread_.find(group);
+  USW_ASSERT_MSG(it != group_thread_.end(),
+                 "access attributed to a group with no offload in flight");
+  return it->second;
+}
+
+void HbChecker::read(int group, const var::VarLabel* label, task::WhichDW dw,
+                     int patch_id, const grid::Box& box,
+                     const std::string& task) {
+  record(group, label, dw, patch_id, box, false, task);
+}
+
+void HbChecker::write(int group, const var::VarLabel* label, task::WhichDW dw,
+                      int patch_id, const grid::Box& box,
+                      const std::string& task) {
+  record(group, label, dw, patch_id, box, true, task);
+}
+
+void HbChecker::record(int group, const var::VarLabel* label,
+                       task::WhichDW dw, int patch_id, const grid::Box& box,
+                       bool is_write, const std::string& task) {
+  USW_ASSERT(label != nullptr);
+  const int t = thread_of(group);
+  Access access;
+  access.thread = t;
+  access.vc = clocks_[static_cast<std::size_t>(t)];
+  access.box = box;
+  access.is_write = is_write;
+  access.task = task;
+  access.fork_point = fork_points_[static_cast<std::size_t>(t)];
+  ++accesses_recorded_;
+
+  auto& log = accesses_[{label->id(), static_cast<int>(dw), patch_id}];
+  for (const Access& prior : log) {
+    if (prior.thread == t) continue;  // program order on one thread
+    if (!prior.is_write && !is_write) continue;
+    if (!prior.box.overlaps(box)) continue;
+    ++pairs_checked_;
+    if (!happens_before(prior, access) && !happens_before(access, prior))
+      report(prior, access, label, dw, patch_id);
+  }
+  log.push_back(std::move(access));
+  // Each thread's clock advances per access so later same-thread accesses
+  // dominate earlier ones.
+  clocks_[static_cast<std::size_t>(t)][static_cast<std::size_t>(t)] += 1;
+}
+
+void HbChecker::report(const Access& a, const Access& b,
+                       const var::VarLabel* label, task::WhichDW dw,
+                       int patch_id) {
+  // One structural bug fires on every step and every overlapping cell
+  // region; collapse to one report per (label, patch, task pair).
+  const std::string t1 = std::min(a.task, b.task);
+  const std::string t2 = std::max(a.task, b.task);
+  if (!seen_.insert({label->id(), patch_id, t1, t2}).second) return;
+
+  auto describe = [](const Access& acc) {
+    std::ostringstream os;
+    os << (acc.is_write ? "write" : "read") << " by "
+       << (acc.thread == 0 ? "the MPE" : "offload thread")
+       << " in task '" << acc.task << "'";
+    if (acc.thread != 0)
+      os << " (forked at schedule point #" << acc.fork_point << ")";
+    return os.str();
+  };
+  std::ostringstream os;
+  os << "unordered accesses on rank " << rank_ << " step " << step_ << ": "
+     << describe(a) << " vs " << describe(b) << " on "
+     << (dw == task::WhichDW::kOld ? "old" : "new") << "-DW '" << label->name()
+     << "' — no happens-before edge orders them; replay the recorded "
+        "schedule to reproduce";
+  violations_.push_back(make_violation(ViolationKind::kUnorderedAccess,
+                                       b.task, label->name(), patch_id,
+                                       a.box.intersect(b.box), os.str()));
+}
+
+}  // namespace usw::check

@@ -219,32 +219,49 @@ void Comm::match_visible() {
   // receives in post order.
   std::sort(box.begin(), box.end(),
             [](const Message& a, const Message& b) { return a.seq < b.seq; });
-  for (auto it = box.begin(); it != box.end();) {
-    if (it->arrival > now) {
-      ++it;
-      continue;
-    }
-    Request* target = nullptr;
-    for (auto& req : requests_) {
-      if (req.kind == Kind::kRecv && !req.done && req.peer == it->src &&
-          req.tag == it->tag) {
-        target = &req;
-        break;
+  // Group the visible messages into (src, tag) classes in head-seq order.
+  // MPI only orders delivery WITHIN a class, so the class interleaving is
+  // a schedule point: the controller picks which class goes first. A
+  // receive matches exactly one class, so the permutation cannot change
+  // which request gets which payload — only the delivery order.
+  std::vector<std::pair<int, int>> classes;
+  for (const Message& msg : box) {
+    if (msg.arrival > now) continue;
+    const std::pair<int, int> key{msg.src, msg.tag};
+    if (std::find(classes.begin(), classes.end(), key) == classes.end())
+      classes.push_back(key);
+  }
+  if (schedpt::ScheduleController* sc = net_.schedule();
+      sc != nullptr && classes.size() > 1) {
+    const int k = sc->choose(schedpt::PointKind::kMsgMatch, rank_,
+                             static_cast<int>(classes.size()));
+    std::rotate(classes.begin(), classes.begin() + k, classes.end());
+  }
+  for (const auto& [src, tag] : classes) {
+    for (auto it = box.begin(); it != box.end();) {
+      if (it->arrival > now || it->src != src || it->tag != tag) {
+        ++it;
+        continue;
       }
+      Request* target = nullptr;
+      for (auto& req : requests_) {
+        if (req.kind == Kind::kRecv && !req.done && req.peer == src &&
+            req.tag == tag) {
+          target = &req;
+          break;
+        }
+      }
+      if (target == nullptr) break;  // unexpected; whole class stays buffered
+      target->done = true;
+      target->bytes = it->bytes;
+      target->complete_stamp = it->arrival;
+      target->payload = std::move(it->payload);
+      if (counters_ != nullptr) {
+        counters_->messages_received += 1;
+        counters_->bytes_received += target->bytes;
+      }
+      it = box.erase(it);
     }
-    if (target == nullptr) {
-      ++it;  // unexpected message; stays buffered
-      continue;
-    }
-    target->done = true;
-    target->bytes = it->bytes;
-    target->complete_stamp = it->arrival;
-    target->payload = std::move(it->payload);
-    if (counters_ != nullptr) {
-      counters_->messages_received += 1;
-      counters_->bytes_received += target->bytes;
-    }
-    it = box.erase(it);
   }
 }
 

@@ -34,6 +34,7 @@
 #include "fault/fault.h"
 #include "hw/cost_model.h"
 #include "hw/perf_counters.h"
+#include "schedpt/schedule.h"
 #include "sim/coordinator.h"
 #include "support/units.h"
 
@@ -70,6 +71,17 @@ class Network {
   void set_fault_plan(const fault::FaultPlan* plan) { fault_ = plan; }
   const fault::FaultPlan* fault_plan() const { return fault_; }
 
+  /// Installs a schedule controller for the kMsgMatch point: which visible
+  /// (src, tag) message class a rank's test delivers first. Within a class
+  /// send order is always preserved (MPI non-overtaking), and a receive
+  /// only ever matches one class, so the permutation cannot change which
+  /// request gets which payload — only the delivery interleaving. The
+  /// controller must outlive the network; nullptr disarms.
+  void set_schedule(schedpt::ScheduleController* schedule) {
+    schedule_ = schedule;
+  }
+  schedpt::ScheduleController* schedule() const { return schedule_; }
+
   /// Forced-success cap: a message's `attempt` at or beyond this bypasses
   /// the loss roll, so retransmission always terminates.
   static constexpr int kMaxSendAttempts = 8;
@@ -100,6 +112,7 @@ class Network {
  private:
   const hw::CostModel& cost_;
   const fault::FaultPlan* fault_ = nullptr;
+  schedpt::ScheduleController* schedule_ = nullptr;
   std::vector<std::vector<Message>> mailboxes_;
   std::vector<TimePs> link_free_;  ///< per-rank NIC free time
   std::uint64_t seq_ = 0;

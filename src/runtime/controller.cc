@@ -8,6 +8,7 @@
 
 #include "athread/athread.h"
 #include "check/comm_lint.h"
+#include "check/hb.h"
 #include "io/archive.h"
 #include "comm/comm.h"
 #include "hw/cost_model.h"
@@ -118,6 +119,18 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
   comm::Network network(config.nranks, cost);
   if (!config.faults.empty()) network.set_fault_plan(&config.faults);
 
+  // Schedule-space exploration: one controller serves the whole run so
+  // every decision site shares a single, totally ordered decision log
+  // (every choose() happens on the token-holding rank thread or inside the
+  // coordinator's pick, so the order is backend-independent). The rank-
+  // pick lookahead is the minimum message latency: any rank strictly
+  // inside the window cannot observe a message an unrun rank would send.
+  const std::unique_ptr<schedpt::ScheduleController> schedule =
+      schedpt::ScheduleController::make(config.schedule);
+  if (schedule != nullptr) network.set_schedule(schedule.get());
+  const TimePs lookahead =
+      config.machine.net_latency + config.machine.mpi_sw_latency;
+
   task::TaskGraph init_graph;
   app.build_init_graph(init_graph, level);
   task::TaskGraph step_graph;
@@ -176,7 +189,9 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
     athread::CpeCluster cluster(cost, coord, rank, &out.counters,
                                 config.cpe_groups, config.backend,
                                 cpe_pool.get());
+    if (schedule != nullptr) cluster.set_schedule(schedule.get());
     sched::SchedulerConfig sched_config = config.variant.scheduler_config();
+    sched_config.schedule = schedule.get();
     sched_config.backend = config.backend;
     sched_config.cpe_groups = config.cpe_groups;
     sched_config.async_dma = config.async_dma;
@@ -208,6 +223,11 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
     // static lint of each graph's communication plan.
     std::unique_ptr<check::AccessChecker> init_checker;
     std::unique_ptr<check::AccessChecker> step_checker;
+    std::unique_ptr<check::HbChecker> hb_checker;
+    if (config.check.enabled && config.check.hb) {
+      hb_checker = std::make_unique<check::HbChecker>(rank);
+      sched_config.hb = hb_checker.get();
+    }
     if (config.check.enabled) {
       init_checker =
           std::make_unique<check::AccessChecker>(config.check, level, cg_init);
@@ -347,10 +367,38 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
     if (step_checker)
       for (check::Violation& v : step_checker->take_violations())
         out.violations.push_back(std::move(v));
-  });
+    if (hb_checker) {
+      for (check::Violation& v : hb_checker->take_violations())
+        out.violations.push_back(std::move(v));
+      if (config.collect_metrics) {
+        out.obs_metrics.count("hb.accesses",
+                              static_cast<double>(hb_checker->accesses_recorded()));
+        out.obs_metrics.count("hb.pairs_checked",
+                              static_cast<double>(hb_checker->pairs_checked()));
+        out.obs_metrics.count("hb.forks",
+                              static_cast<double>(hb_checker->forks()));
+      }
+    }
+  }, schedule.get(), lookahead);
 
   if (config.check.enabled && config.check.comm)
     result.comm_violations = check::lint_network_shutdown(network);
+
+  if (schedule != nullptr) {
+    // Record/fuzz write their schedule file; replay verifies the recording
+    // was fully consumed (StateError names the first unconsumed point).
+    schedule->finish();
+    result.schedule_points = schedule->counters();
+    if (config.collect_metrics && !result.ranks.empty()) {
+      obs::MetricsRegistry& m = result.ranks[0].obs_metrics;
+      for (int k = 0; k < schedpt::kNumPointKinds; ++k) {
+        const auto kind = static_cast<schedpt::PointKind>(k);
+        if (result.schedule_points.of(kind) > 0)
+          m.count(std::string("schedpt.") + schedpt::to_string(kind),
+                  static_cast<double>(result.schedule_points.of(kind)));
+      }
+    }
+  }
 
   return result;
 }

@@ -22,6 +22,7 @@
 #include "runtime/application.h"
 #include "runtime/problem.h"
 #include "runtime/variant.h"
+#include "schedpt/schedule.h"
 #include "sim/trace.h"
 #include "support/units.h"
 #include "var/datawarehouse.h"
@@ -71,6 +72,15 @@ struct RunConfig {
   /// Violations land in RankResult::violations / RunResult::comm_violations.
   check::CheckConfig check;
 
+  /// Schedule-space exploration (src/schedpt, uswsim --schedule): fuzz the
+  /// runtime's nondeterminism-relevant decisions within causal bounds,
+  /// record the decision sequence to a file, or replay a recording
+  /// exactly. Mode::kDefault (the default) takes the canonical schedule at
+  /// zero cost. Numerics and archives are bit-equal across schedules on
+  /// fault-free runs; combining fuzz with `faults` changes which messages
+  /// the seq-hashed fault plan hits and is allowed but not comparable.
+  schedpt::ScheduleSpec schedule;
+
   /// Deterministic fault injection (uswsim --inject): an empty plan runs
   /// fault-free. The same plan + seed produces bit-identical faults,
   /// virtual times, and fields on both execution backends.
@@ -113,6 +123,9 @@ struct RunResult {
   std::vector<RankResult> ranks;
   /// Run-level comm-lint findings (orphaned messages at shutdown).
   std::vector<check::Violation> comm_violations;
+  /// Schedule-point decisions taken across the run (all kinds zero when
+  /// RunConfig::schedule is Mode::kDefault).
+  schedpt::PointCounters schedule_points;
 
   /// All validator findings across ranks plus the run-level comm lint.
   std::size_t total_violations() const;

@@ -5,7 +5,9 @@
 #include <memory>
 
 #include "check/check.h"
+#include "check/hb.h"
 #include "obs/registry.h"
+#include "schedpt/schedule.h"
 #include "sched/tile_exec.h"
 #include "support/error.h"
 #include "support/log.h"
@@ -64,6 +66,7 @@ StepStats Scheduler::execute(task::TaskContext& ctx) {
     ctx.old_dw->set_observer(config_.checker);
     ctx.new_dw->set_observer(config_.checker);
   }
+  if (config_.hb != nullptr) config_.hb->begin_step(ctx.step);
 
   const std::size_t n = graph_.tasks.size();
   state_.assign(n, DtState{});
@@ -216,6 +219,12 @@ void Scheduler::mpe_part(task::TaskContext& ctx, int dt_index) {
   // performs before handing the kernel its inputs).
   for (const task::LocalCopy& lc : dt.local_copies) {
     if (config_.checker != nullptr) config_.checker->record_local_copy(dt_index, lc);
+    if (config_.hb != nullptr) {
+      config_.hb->read(-1, lc.label, lc.dw, lc.from_patch, lc.region,
+                       dt.task->name());
+      config_.hb->write(-1, lc.label, lc.dw, lc.to_patch, lc.region,
+                        dt.task->name());
+    }
     const TimePs cost = comm_.net().cost().mpe_pack(lc.bytes());
     comm_.advance(cost);
     counters_.mpe_task_time += cost;
@@ -247,6 +256,13 @@ void Scheduler::run_stencil_on_mpe(task::TaskContext& ctx, int dt_index) {
                                          dt.task->stencil_in_dw(),
                                          patch.ghosted(kernel.ghost));
     config_.checker->record_write(dt_index, dt.task->stencil_out(), patch.cells());
+  }
+  if (config_.hb != nullptr) {
+    config_.hb->read(-1, dt.task->stencil_in(), dt.task->stencil_in_dw(),
+                     dt.patch_id, patch.ghosted(kernel.ghost),
+                     dt.task->name());
+    config_.hb->write(-1, dt.task->stencil_out(), task::WhichDW::kNew,
+                      dt.patch_id, patch.cells(), dt.task->name());
   }
   const kern::FieldView in = view_of(dw_for(ctx, dt.task->stencil_in_dw()),
                                      dt.task->stencil_in(), dt.patch_id);
@@ -301,7 +317,7 @@ void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group)
   const grid::Tiling tiling(patch.cells(), kernel.tile_shape);
   const auto plan = std::make_shared<const TileAssignment>(plan_tile_assignment(
       args, tiling, cluster_.group_size(), cluster_.n_cpes(),
-      comm_.net().cost()));
+      comm_.net().cost(), config_.schedule, comm_.rank()));
   if (config_.checker != nullptr) {
     config_.checker->record_stencil_read(dt_index, dt.task->stencil_in(),
                                          dt.task->stencil_in_dw(),
@@ -344,6 +360,20 @@ void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group)
     }
   }
   cluster_.spawn(std::move(job), group);
+  if (config_.hb != nullptr) {
+    // The offload is a forked logical thread: its accesses are ordered
+    // after everything the MPE did before the spawn, and before anything
+    // the MPE does after observing completion — nothing else. The fork
+    // records the global schedule-point index as replay provenance.
+    config_.hb->fork(group, config_.schedule != nullptr
+                                ? config_.schedule->points_seen()
+                                : 0);
+    config_.hb->read(group, dt.task->stencil_in(), dt.task->stencil_in_dw(),
+                     dt.patch_id, patch.ghosted(kernel.ghost),
+                     dt.task->name());
+    config_.hb->write(group, dt.task->stencil_out(), task::WhichDW::kNew,
+                      dt.patch_id, patch.cells(), dt.task->name());
+  }
   trace_.record(comm_.now(), sim::EventKind::kKernelBegin, label, ids);
   // completion_time() blocks until the workers publish under the threads
   // backend; only pay for it when the event would actually be recorded,
@@ -536,6 +566,10 @@ bool Scheduler::progress_comm(task::TaskContext& ctx) {
     const task::ExtComm& rc = *open_recv_comm_[r];
     if (config_.checker != nullptr)
       config_.checker->record_recv_unpack(open_recv_dt_[r], rc);
+    if (config_.hb != nullptr)
+      config_.hb->write(
+          -1, rc.label, rc.dw, rc.to_patch, rc.region,
+          graph_.tasks[static_cast<std::size_t>(open_recv_dt_[r])].task->name());
     const TimePs unpack_cost = comm_.net().cost().mpe_pack(rc.bytes());
     comm_.advance(unpack_cost);
     counters_.comm_time += unpack_cost;
@@ -630,6 +664,7 @@ void Scheduler::run_loop_sync(task::TaskContext& ctx) {
             trace_.record(before, sim::EventKind::kWaitBegin, "cpe-spin",
                           sim::EventIds{step_, t, dt.patch_id, -1, -1, g, 0});
             cluster_.join(g);
+            if (config_.hb != nullptr) config_.hb->join(g);
             sample_offload_imbalance(g);
             trace_.record(comm_.now(), sim::EventKind::kWaitEnd, "cpe-spin",
                           sim::EventIds{step_, t, dt.patch_id, -1, -1, g, 0});
@@ -677,10 +712,14 @@ void Scheduler::run_loop_async(task::TaskContext& ctx) {
   while (done_count_ < n || any_offloaded()) {
     bool progressed = false;
     // 3b: check the completion flags; on completion post sends, mark done.
-    for (int g = 0; g < groups; ++g) {
+    // The sweep order is a schedule point (kOffloadPoll): with several
+    // offloads in flight, which completion the MPE processes first is a
+    // real nondeterminism on the hardware.
+    for (const int g : cluster_.poll_order()) {
       if (offloaded_[static_cast<std::size_t>(g)] >= 0 && cluster_.poll(g)) {
         const int finished = offloaded_[static_cast<std::size_t>(g)];
         offloaded_[static_cast<std::size_t>(g)] = -1;
+        if (config_.hb != nullptr) config_.hb->join(g);
         sample_offload_imbalance(g);
         const task::DetailedTask& fdt =
             graph_.tasks[static_cast<std::size_t>(finished)];

@@ -42,11 +42,16 @@
 
 namespace usw::check {
 class AccessChecker;
+class HbChecker;
 }  // namespace usw::check
 
 namespace usw::obs {
 class MetricsRegistry;
 }  // namespace usw::obs
+
+namespace usw::schedpt {
+class ScheduleController;
+}  // namespace usw::schedpt
 
 namespace usw::sched {
 
@@ -104,6 +109,17 @@ struct SchedulerConfig {
   /// and tile/offload size samples into the registry as it runs. Null (the
   /// default) costs nothing.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Opt-in schedule controller (src/schedpt): decides the kTileGrab
+  /// points of each offload's tile planning. The same controller should be
+  /// installed on the Network, the CpeCluster, and the Coordinator so the
+  /// whole run shares one global decision sequence. Null = canonical.
+  schedpt::ScheduleController* schedule = nullptr;
+
+  /// Opt-in dynamic happens-before race oracle (src/check/hb.h): when set,
+  /// the scheduler reports offload fork/join edges and access regions to
+  /// it as the step runs. Null (the default) costs nothing.
+  check::HbChecker* hb = nullptr;
 
   /// Opt-in fault injection (src/fault): deterministic CPE stalls, offload
   /// failures and DMA errors for this rank. Null (the default) runs

@@ -167,8 +167,9 @@ void run_double_buffered(const TileExecArgs& args, athread::CpeContext& ctx,
 
 TileAssignment plan_tile_assignment(const TileExecArgs& args,
                                     const grid::Tiling& tiling, int n_cpes,
-                                    int cluster_cpes,
-                                    const hw::CostModel& cost) {
+                                    int cluster_cpes, const hw::CostModel& cost,
+                                    schedpt::ScheduleController* schedule,
+                                    int rank) {
   USW_ASSERT(args.kernel != nullptr);
   const kern::KernelVariants& kernel = *args.kernel;
   const hw::KernelCost base = kernel.cost.scaled(args.cost_scale);
@@ -191,7 +192,8 @@ TileAssignment plan_tile_assignment(const TileExecArgs& args,
            cost.cpe_dma(static_cast<std::uint64_t>(tile.volume()) * sizeof(double),
                         cluster_cpes, strided);
   };
-  return assign_tiles(tiling, n_cpes, args.policy, tile_cost, cost.cpe_faaw());
+  return assign_tiles(tiling, n_cpes, args.policy, tile_cost, cost.cpe_faaw(),
+                      schedule, rank);
 }
 
 std::vector<std::pair<int, grid::Box>> tile_writes(const grid::Tiling& tiling,

@@ -65,11 +65,15 @@ struct TileExecArgs {
 /// (tile overhead + get + compute + put, per-tile cost scale included) and
 /// the faaw grab cost. `n_cpes` is the offload's group size and
 /// `cluster_cpes` the whole cluster's CPE count (DMA contention).
-/// Deterministic: a pure function of its arguments.
+/// Deterministic: a pure function of its arguments. `schedule`/`rank`
+/// feed the kTileGrab schedule point (see assign_tiles); the lazy planning
+/// path inside make_tile_job always plans canonically — CPE worker threads
+/// must never consult the controller.
 TileAssignment plan_tile_assignment(const TileExecArgs& args,
                                     const grid::Tiling& tiling, int n_cpes,
-                                    int cluster_cpes,
-                                    const hw::CostModel& cost);
+                                    int cluster_cpes, const hw::CostModel& cost,
+                                    schedpt::ScheduleController* schedule = nullptr,
+                                    int rank = 0);
 
 /// Job for CpeCluster::spawn. Copies `args` by value; the views must stay
 /// valid until the offload completes. `plan` is the assignment from

@@ -4,6 +4,7 @@
 #include <functional>
 #include <queue>
 
+#include "schedpt/schedule.h"
 #include "support/error.h"
 
 namespace usw::sched {
@@ -24,7 +25,8 @@ struct GrabSlot {
 
 TileAssignment self_schedule(const grid::Tiling& tiling, int n_cpes,
                              TilePolicy policy, const TileCostFn& tile_cost,
-                             TimePs grab_cost) {
+                             TimePs grab_cost,
+                             schedpt::ScheduleController* schedule, int rank) {
   TileAssignment plan;
   plan.policy = policy;
   plan.tiles_per_cpe.assign(static_cast<std::size_t>(n_cpes), {});
@@ -40,6 +42,26 @@ TileAssignment self_schedule(const grid::Tiling& tiling, int n_cpes,
   while (next < total) {
     GrabSlot slot = heap.top();
     heap.pop();
+    if (schedule != nullptr) {
+      // Schedule point: every CPE whose clock ties the minimum could win
+      // the faaw arbitration on real hardware. Pop the tied set (arrives
+      // in ascending CPE id, so candidate 0 is the canonical winner), let
+      // the controller pick, and push the losers back.
+      std::vector<GrabSlot> ties;
+      while (!heap.empty() && heap.top().clock == slot.clock) {
+        ties.push_back(heap.top());
+        heap.pop();
+      }
+      if (!ties.empty()) {
+        ties.insert(ties.begin(), slot);
+        const int k =
+            schedule->choose(schedpt::PointKind::kTileGrab, rank,
+                             static_cast<int>(ties.size()));
+        slot = ties[static_cast<std::size_t>(k)];
+        for (std::size_t i = 0; i < ties.size(); ++i)
+          if (i != static_cast<std::size_t>(k)) heap.push(ties[i]);
+      }
+    }
     const int remaining = total - next;
     const int chunk =
         policy == TilePolicy::kGuided ? std::max(1, remaining / n_cpes) : 1;
@@ -101,11 +123,13 @@ TilePolicy tile_policy_from_string(const std::string& name) {
 
 TileAssignment assign_tiles(const grid::Tiling& tiling, int n_cpes,
                             TilePolicy policy, const TileCostFn& tile_cost,
-                            TimePs grab_cost) {
+                            TimePs grab_cost,
+                            schedpt::ScheduleController* schedule, int rank) {
   USW_ASSERT(n_cpes > 0);
   USW_ASSERT(static_cast<bool>(tile_cost));
   if (policy == TilePolicy::kStaticZ) return static_z(tiling, n_cpes, tile_cost);
-  return self_schedule(tiling, n_cpes, policy, tile_cost, grab_cost);
+  return self_schedule(tiling, n_cpes, policy, tile_cost, grab_cost, schedule,
+                       rank);
 }
 
 }  // namespace usw::sched

@@ -28,6 +28,10 @@
 #include "grid/tiling.h"
 #include "support/units.h"
 
+namespace usw::schedpt {
+class ScheduleController;
+}  // namespace usw::schedpt
+
 namespace usw::sched {
 
 enum class TilePolicy {
@@ -75,8 +79,18 @@ using TileCostFn = std::function<TimePs(int tile)>;
 /// `policy`. `tile_cost` prices one tile end to end (overhead + DMA +
 /// compute); `grab_cost` is one faaw round trip. Tiles are handed out in
 /// tiling order (the shared counter only increments). Deterministic.
+///
+/// `schedule` (optional) decides the kTileGrab schedule point: when
+/// several CPEs' virtual clocks tie for the next grab of a self-scheduled
+/// policy, the hardware's faaw arbitration could pick any of them; the
+/// controller chooses which (canonical = lowest CPE id). The perturbation
+/// permutes only clock-tied CPEs, so the busy-time multiset — and with it
+/// est_busy extrema, completion time, and numerics — is invariant; only
+/// the tile->CPE mapping changes. `rank` labels the decisions.
 TileAssignment assign_tiles(const grid::Tiling& tiling, int n_cpes,
                             TilePolicy policy, const TileCostFn& tile_cost,
-                            TimePs grab_cost);
+                            TimePs grab_cost,
+                            schedpt::ScheduleController* schedule = nullptr,
+                            int rank = 0);
 
 }  // namespace usw::sched

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <thread>
 
+#include "schedpt/schedule.h"
 #include "support/log.h"
 
 namespace usw::sim {
@@ -93,6 +94,14 @@ bool Coordinator::cancelled() const {
   return cancelled_;
 }
 
+void Coordinator::set_schedule(schedpt::ScheduleController* schedule,
+                               TimePs lookahead) {
+  USW_ASSERT_MSG(lookahead >= 0, "negative lookahead");
+  std::lock_guard<std::mutex> lk(lock_);
+  schedule_ = schedule;
+  lookahead_ = lookahead;
+}
+
 void Coordinator::pick_next_locked() {
   USW_ASSERT(running_ < 0);
   if (cancelled_) return;
@@ -144,6 +153,27 @@ void Coordinator::pick_next_locked() {
     for (auto& slot : ranks_) slot.cv.notify_all();
     return;
   }
+  if (schedule_ != nullptr) {
+    // Schedule point: any rank whose effective time is STRICTLY inside
+    // [best_time, best_time + lookahead_) may legally run next (see
+    // set_schedule for the causality argument). Candidate 0 is the
+    // canonical min-clock/min-rank choice so default == index 0.
+    std::vector<int> candidates;
+    candidates.push_back(best);
+    for (int r = 0; r < size(); ++r) {
+      if (r == best) continue;
+      const RankSlot& slot = ranks_[static_cast<std::size_t>(r)];
+      TimePs eff = kNever;
+      if (slot.state == State::kReady) eff = slot.clock;
+      else if (slot.state == State::kWaiting && slot.wake != kNever)
+        eff = slot.wake;
+      if (eff != kNever && eff - best_time < lookahead_)
+        candidates.push_back(r);
+    }
+    const int pick = schedule_->choose(schedpt::PointKind::kRankPick, best,
+                                       static_cast<int>(candidates.size()));
+    best = candidates[static_cast<std::size_t>(pick)];
+  }
   RankSlot& chosen = ranks_[static_cast<std::size_t>(best)];
   if (chosen.state == State::kWaiting) {
     chosen.clock = std::max(chosen.clock, chosen.wake);
@@ -163,7 +193,13 @@ void Coordinator::block_until_running_locked(std::unique_lock<std::mutex>& lk, i
 }
 
 void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body) {
+  run_ranks(nranks, body, nullptr, 0);
+}
+
+void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body,
+               schedpt::ScheduleController* schedule, TimePs lookahead) {
   Coordinator coord(nranks);
+  if (schedule != nullptr) coord.set_schedule(schedule, lookahead);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   threads.reserve(static_cast<std::size_t>(nranks));

@@ -43,6 +43,10 @@
 #include "support/error.h"
 #include "support/units.h"
 
+namespace usw::schedpt {
+class ScheduleController;
+}  // namespace usw::schedpt
+
 namespace usw::sim {
 
 /// Sentinel wake time: "no locally known wake event".
@@ -94,6 +98,16 @@ class Coordinator {
 
   bool cancelled() const;
 
+  /// Installs a schedule controller for the kRankPick point. When set, the
+  /// token grant may go to any rank whose effective time lies STRICTLY
+  /// within `lookahead` of the minimum clock instead of always the minimum.
+  /// Strictness is what keeps the perturbation causal: a candidate B with
+  /// T_B < T_min + lookahead cannot observe any message an unrun rank A
+  /// would send, because that message arrives at >= T_A + lookahead >
+  /// T_B. `lookahead` should be the minimum message latency (wire +
+  /// software). Null disables (canonical min-clock order).
+  void set_schedule(schedpt::ScheduleController* schedule, TimePs lookahead);
+
  private:
   enum class State : std::uint8_t { kUnstarted, kReady, kRunning, kWaiting, kFinished };
 
@@ -116,10 +130,17 @@ class Coordinator {
   int running_ = -1;
   bool cancelled_ = false;
   std::string cancel_reason_;
+  schedpt::ScheduleController* schedule_ = nullptr;
+  TimePs lookahead_ = 0;
 };
 
 /// Runs `body` once per rank on `nranks` host threads under a Coordinator.
 /// Rethrows the first rank exception after all threads join.
 void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body);
+
+/// As above, with a schedule controller (may be null) deciding the
+/// coordinator's kRankPick points within `lookahead` of the minimum clock.
+void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body,
+               schedpt::ScheduleController* schedule, TimePs lookahead);
 
 }  // namespace usw::sim

@@ -10,7 +10,9 @@ namespace usw::log {
 namespace {
 
 Level parse_env() {
-  const char* env = std::getenv("USW_LOG");
+  // Read exactly once, during static initialization, before any worker
+  // thread exists — no concurrent setenv can race with it.
+  const char* env = std::getenv("USW_LOG");  // NOLINT(concurrency-mt-unsafe)
   if (env == nullptr) return Level::kWarn;
   if (std::strcmp(env, "error") == 0) return Level::kError;
   if (std::strcmp(env, "warn") == 0) return Level::kWarn;
