@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "obs/json_writer.h"
+#include "support/build_info.h"
 
 namespace usw::bench {
 
@@ -21,6 +22,16 @@ std::string JsonReport::write(const std::string& dir) const {
   obs::JsonWriter w(os, /*indent=*/1);
   w.begin_object();
   w.kv("bench", name_.c_str());
+  {
+    const BuildInfo& b = build_info();
+    w.key("provenance").begin_object();
+    w.kv("version", b.version);
+    w.kv("git_sha", b.git_sha);
+    w.kv("compiler", b.compiler);
+    w.kv("build_type", b.build_type);
+    w.kv("sanitizers", b.sanitizers);
+    w.end_object();
+  }
   w.key("scalars").begin_object();
   for (const auto& [key, value] : scalars_) w.kv(key, value);
   w.end_object();
@@ -37,6 +48,7 @@ std::string JsonReport::write(const std::string& dir) const {
     w.kv("wait_ps", res.wait_ps);
     w.kv("critical_path_ps", res.critical_path_ps);
     w.kv("cpe_idle_frac", res.cpe_idle_frac);
+    w.kv("host_ms", res.host_ms);
     w.end_object();
   }
   w.end_array();

@@ -1,5 +1,6 @@
 #include "sweep.h"
 
+#include <chrono>
 #include <cstdio>
 
 #include "apps/burgers/burgers_app.h"
@@ -27,9 +28,14 @@ const CaseResult& Sweep::run(const runtime::ProblemSpec& problem,
   config.backend_threads = backend_threads_;
 
   apps::burgers::BurgersApp app;
+  const auto host_start = std::chrono::steady_clock::now();
   const runtime::RunResult r = runtime::run_simulation(config, app);
+  const double host_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - host_start)
+                             .count();
 
   CaseResult res;
+  res.host_ms = host_ms;
   res.mean_step = r.mean_step_wall();
   res.gflops = r.achieved_gflops();
   res.counted_flops = r.total_counted_flops();

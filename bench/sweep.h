@@ -41,6 +41,10 @@ struct CaseResult {
   /// Mean per-offload CPE idle fraction (offload.cpe_idle_frac samples;
   /// 0 when nothing was offloaded or observation is off).
   double cpe_idle_frac = 0.0;
+  /// Host (real) wall-clock of the whole run, milliseconds. Machine- and
+  /// load-dependent: bench_compare gates it only at a very loose tolerance
+  /// (a sanity net against pathological slowdowns, not a perf contract).
+  double host_ms = 0.0;
 };
 
 class Sweep {

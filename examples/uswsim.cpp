@@ -26,11 +26,13 @@
 #include "apps/burgers/burgers_app.h"
 #include "apps/heat/heat_app.h"
 #include "obs/chrome_trace.h"
+#include "obs/host_profile.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "runtime/controller.h"
 #include "runtime/observe.h"
 #include "schedpt/schedule.h"
+#include "support/build_info.h"
 #include "support/options.h"
 #include "support/table.h"
 
@@ -105,6 +107,26 @@ void print_help() {
       "  --report                      print the breakdown tables and the\n"
       "                                critical chain of the slowest step\n"
       "\n"
+      "diagnostics (flight recorder + hang watchdog, on by default; no\n"
+      "effect on numerics or virtual times):\n"
+      "  --diag-dump=FILE              write a structured JSON diagnostic\n"
+      "                                dump on crash/hang AND on clean exit\n"
+      "                                (without it, crashes still auto-dump\n"
+      "                                to uswsim_crash_diag.json)\n"
+      "  --flight-capacity=N           per-rank flight-ring size (default\n"
+      "                                256; 0 disables event recording)\n"
+      "  --hang-threshold-us=N         hang watchdog: cancel + dump when\n"
+      "                                virtual time advances N us past the\n"
+      "                                last completed step (default 600e6 =\n"
+      "                                10 virtual minutes; 0 disables)\n"
+      "  --retransmit=0|1              message-loss retransmission (default\n"
+      "                                1; 0 turns an all-lost exchange into\n"
+      "                                a detectable hang - diagnostics\n"
+      "                                smoke-test knob)\n"
+      "  --metrics-stream=FILE[:N]     append one JSONL metrics snapshot\n"
+      "                                every N completed steps (default 1)\n"
+      "  --version                     print build provenance and exit\n"
+      "\n"
       "fault injection / resilience (deterministic, seeded):\n"
       "  --inject=SPEC                 kind[:key=val...][,kind...] with kinds\n"
       "                                cpe_stall, offload_fail, dma_error,\n"
@@ -164,6 +186,12 @@ int main(int argc, char** argv) {
     print_help();
     return 0;
   }
+  if (opts.get_bool("version", false)) {
+    std::printf("%s\n", build_info_line().c_str());
+    std::printf("features: backends=serial,threads schedule=fuzz,record,replay "
+                "diagnostics=flight,watchdog,stream\n");
+    return 0;
+  }
   try {
     runtime::RunConfig config;
     if (opts.has("problem")) {
@@ -211,6 +239,24 @@ int main(int argc, char** argv) {
     }
     config.check.enabled = opts.get_bool("validate", false);
     config.schedule = schedpt::ScheduleSpec::parse(opts.get("schedule", ""));
+    // Diagnostics: crashes always auto-dump; --diag-dump adds an explicit
+    // target that is also written on clean exit.
+    config.diag.dump_on_crash = true;
+    if (opts.has("diag-dump") && opts.get("diag-dump").empty())
+      throw ConfigError("--diag-dump requires a file path");
+    config.diag.dump_path = opts.get("diag-dump", "");
+    config.diag.flight_capacity =
+        static_cast<std::size_t>(get_int_min(opts, "flight-capacity", 256, 0));
+    if (!config.diag.dump_path.empty() && config.diag.flight_capacity == 0)
+      throw ConfigError("--diag-dump requires flight recording; raise "
+                        "--flight-capacity");
+    config.diag.hang_threshold =
+        get_int_min(opts, "hang-threshold-us", 600'000'000, 0) * kMicrosecond;
+    config.recovery.retransmit = opts.get_bool("retransmit", true);
+    if (opts.has("metrics-stream")) {
+      config.stream = obs::StreamSpec::parse(opts.get("metrics-stream"));
+      config.collect_metrics = true;
+    }
     config.output_dir = opts.get("output", "");
     config.output_interval =
         static_cast<int>(get_int_min(opts, "output-interval", 0, 0));
@@ -267,6 +313,10 @@ int main(int argc, char** argv) {
           config.schedule.mode != schedpt::Mode::kReplay)
         std::printf("schedule file written: %s\n", config.schedule.file.c_str());
     }
+    if (!result.diag_dump_path.empty())
+      std::printf("diagnostic dump written: %s\n", result.diag_dump_path.c_str());
+    if (config.stream.enabled())
+      std::printf("metrics stream written: %s\n", config.stream.file.c_str());
 
     TextTable table("timing (virtual)");
     table.set_header({"metric", "value"});
@@ -321,6 +371,8 @@ int main(int argc, char** argv) {
         if (report) {
           std::printf("\n");
           obs::print_report(std::cout, metrics, observation);
+          std::printf("\n");
+          obs::print_host_profile(std::cout, result.host);
         }
       }
     }

@@ -27,6 +27,10 @@ Regression policy, per metric:
   * counted_flops is a work-volume invariant and must match exactly
     (relative 1e-12): changing it silently would invalidate the
     Gflop/s comparison entirely.
+  * host wall-clock metrics (host_ms) are machine- and load-dependent, so
+    they get their own LOOSE tolerance class: fail only past a 25x blowup
+    (a sanity net against host-side livelocks/contention catastrophes),
+    and improvements are never even noted.
   * improvements beyond tolerance are reported but do not fail; commit a
     new baseline to lock them in (see --help-rebaseline).
 
@@ -49,6 +53,11 @@ HIGHER_IS_WORSE = ("mean_step_ps", "wait_ps", "critical_path_ps",
 LOWER_IS_WORSE = ("gflops", "overlap_efficiency")
 EXACT = ("counted_flops",)
 EXACT_REL = 1e-12
+# Host wall-clock metrics: machine-dependent, so the shared --tolerance
+# does not apply. metric -> own relative tolerance in the higher-is-worse
+# direction (24.0 = fail when fresh > 25x baseline). Never reported as
+# "improved" — a faster machine is not a perf win to lock in.
+LOOSE_HIGHER_IS_WORSE = {"host_ms": 24.0}
 
 
 class Delta:
@@ -80,6 +89,11 @@ def compare_metric(where, metric, base, fresh, tolerance, deltas):
     if base == 0 and fresh == 0:
         return
     rel = (fresh - base) / abs(base) if base != 0 else math.inf
+    if metric in LOOSE_HIGHER_IS_WORSE:
+        if rel > LOOSE_HIGHER_IS_WORSE[metric]:
+            deltas.append(Delta(where, metric, base, fresh, True,
+                                "host wall-clock blowup"))
+        return
     if metric in HIGHER_IS_WORSE:
         regressed, improved = rel > tolerance, rel < -tolerance
     elif metric in LOWER_IS_WORSE:
@@ -124,7 +138,8 @@ def compare_files(baseline_path, fresh_path, tolerance):
             continue
         bc, fc = base_cases[key], fresh_cases[key]
         where = "{}/{}/{}cg".format(*key)
-        for metric in HIGHER_IS_WORSE + LOWER_IS_WORSE + EXACT:
+        for metric in (HIGHER_IS_WORSE + LOWER_IS_WORSE + EXACT +
+                       tuple(LOOSE_HIGHER_IS_WORSE)):
             if metric not in bc and metric not in fc:
                 continue
             if metric not in fc:

@@ -22,7 +22,8 @@ BASE = {
     "scalars": {"async_improvement": 1.30},
     "cases": [
         {"problem": "tiny", "variant": "acc.async", "ranks": 4,
-         "mean_step_ps": 1000.0, "gflops": 2.0, "counted_flops": 5.0e9},
+         "mean_step_ps": 1000.0, "gflops": 2.0, "counted_flops": 5.0e9,
+         "host_ms": 100.0},
     ],
 }
 
@@ -93,6 +94,30 @@ class BenchCompareTest(unittest.TestCase):
         self.assertIn("NOTE", r.stderr)
         r = run_compare(BASE, fresh, "--strict")
         self.assertEqual(r.returncode, 1)
+
+    def test_host_ms_noise_passes(self):
+        # Host wall-clock is machine-dependent: a 10x slowdown (slow CI
+        # box, sanitizer build) and any speedup must both pass silently.
+        for value in (1000.0, 5.0):
+            fresh = copy.deepcopy(BASE)
+            fresh["cases"][0]["host_ms"] = value
+            r = run_compare(BASE, fresh, "--strict")
+            self.assertEqual(r.returncode, 0, r.stderr)
+            self.assertNotIn("host_ms", r.stdout)
+
+    def test_host_ms_blowup_fails(self):
+        fresh = copy.deepcopy(BASE)
+        fresh["cases"][0]["host_ms"] = 2600.0  # 26x: past the 25x net
+        r = run_compare(BASE, fresh)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("host wall-clock blowup", r.stdout)
+
+    def test_host_ms_missing_from_fresh_fails(self):
+        fresh = copy.deepcopy(BASE)
+        del fresh["cases"][0]["host_ms"]
+        r = run_compare(BASE, fresh)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("host_ms", r.stderr)
 
     def test_fresh_only_case_metric_noted_then_strict_fails(self):
         # The original hole: a known metric present only in the fresh case

@@ -13,8 +13,15 @@
 // Determinism of the simulation does not depend on execution order (CPE
 // write-sets are disjoint and all virtual-time results are folded in CPE-id
 // order by the cluster), so the queue only has to be correct, not clever.
+//
+// Host profiling (opt-in via enable_profiling): per-task queue-wait and
+// submit-side lock-contention times, plus per-worker task counts. All
+// profile state is guarded by the pool mutex; samples are host wall-clock
+// and never feed back into the simulation, so determinism is unaffected.
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -46,13 +53,42 @@ class WorkerPool {
   /// the schedulers produce.
   static int default_size();
 
- private:
-  void worker_main(int worker);
+  /// Host-profiling snapshot (see enable_profiling).
+  struct PoolStats {
+    std::uint64_t tasks = 0;                  ///< tasks executed
+    std::vector<std::uint64_t> per_worker;    ///< tasks per worker index
+    std::vector<double> queue_wait_us;        ///< enqueue->dequeue latency
+    std::vector<double> lock_wait_us;         ///< submit-side mutex waits
+    std::uint64_t samples_dropped = 0;        ///< over the sample cap
+  };
 
-  std::mutex mu_;
+  /// Starts collecting queue-wait and lock-contention samples. Sample
+  /// vectors are capped at `sample_cap` entries each (drops counted), so
+  /// memory stays bounded on long runs. Idempotent.
+  void enable_profiling(std::size_t sample_cap = 8192);
+
+  bool profiling() const;
+  PoolStats stats() const;
+  std::size_t queue_depth() const;
+
+ private:
+  struct Task {
+    std::function<void(int)> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_main(int worker);
+  void add_sample_locked(std::vector<double>& samples, double v);
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void(int)>> queue_;
+  std::deque<Task> queue_;
   bool stop_ = false;
+
+  bool profile_ = false;
+  std::size_t sample_cap_ = 0;
+  PoolStats stats_;
+
   std::vector<std::thread> threads_;
 };
 

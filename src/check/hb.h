@@ -66,6 +66,10 @@ class HbChecker {
   std::uint64_t pairs_checked() const { return pairs_checked_; }
   std::uint64_t forks() const { return forks_; }
 
+  /// Current vector clocks, one per logical thread ([0] = MPE), for
+  /// diagnostic dumps. Pure read of rank-local state.
+  const std::vector<std::vector<std::uint64_t>>& clocks() const { return clocks_; }
+
  private:
   using VectorClock = std::vector<std::uint64_t>;
 

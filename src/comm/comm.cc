@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/flight.h"
 #include "support/error.h"
 #include "support/log.h"
 
@@ -89,7 +90,7 @@ TimePs Comm::retransmit_timeout(std::uint64_t bytes) const {
 }
 
 void Comm::maybe_retransmit(Request& req) {
-  if (!req.lost || coord_.now(rank_) < req.complete_stamp) return;
+  if (!retransmit_ || !req.lost || coord_.now(rank_) < req.complete_stamp) return;
   const TimePs post = net_.cost().mpi_post_overhead();
   coord_.advance(rank_, post);
   if (counters_ != nullptr) {
@@ -111,9 +112,15 @@ void Comm::maybe_retransmit(Request& req) {
   const TimePs injected = net_.reserve_link(rank_, coord_.now(rank_), req.bytes);
   msg.arrival = injected + net_.cost().params().net_latency +
                 net_.cost().params().mpi_sw_latency;
+  if (flight_ != nullptr)
+    flight_->record(obs::FlightKind::kMsgRetransmit, coord_.now(rank_), req.peer,
+                    static_cast<std::int64_t>(req.msg_seq), attempt);
   const Network::Delivery d = net_.deliver(std::move(msg), attempt);
   if (d.status == Network::DeliveryStatus::kLost) {
     if (counters_ != nullptr) counters_->fault_injected += 1;
+    if (flight_ != nullptr)
+      flight_->record(obs::FlightKind::kMsgLost, coord_.now(rank_), req.peer,
+                      static_cast<std::int64_t>(req.msg_seq), attempt);
     req.complete_stamp = injected + retransmit_timeout(req.bytes);
   } else {
     if (d.status == Network::DeliveryStatus::kDelayed && counters_ != nullptr)
@@ -165,18 +172,32 @@ RequestId Comm::post_send(int dst, int tag, std::uint64_t bytes,
       net_.fault_plan()->has(fault::FaultKind::kMsgLoss))
     req.payload = msg.payload;
 
+  if (flight_ != nullptr)
+    flight_->record(obs::FlightKind::kMsgSend, now, dst,
+                    static_cast<std::int64_t>(req.msg_seq),
+                    static_cast<std::int64_t>(bytes));
   const Network::Delivery d = net_.deliver(std::move(msg), 1);
   if (d.status == Network::DeliveryStatus::kLost) {
     if (counters_ != nullptr) counters_->fault_injected += 1;
+    if (flight_ != nullptr)
+      flight_->record(obs::FlightKind::kMsgLost, now, dst,
+                      static_cast<std::int64_t>(req.msg_seq), 1);
     // The sender cannot see the loss; it notices the missing ack at a
     // cost-model-derived timeout and retransmits (maybe_retransmit).
     // complete_stamp doubles as that deadline while `lost` is set, so
-    // earliest_known_completion() wakes the rank exactly then.
+    // earliest_known_completion() wakes the rank exactly then. With
+    // retransmission disabled there is no deadline: the send can never
+    // complete, which the coordinator reports as a deadlock.
     req.lost = true;
-    req.complete_stamp = injected + retransmit_timeout(bytes);
+    req.complete_stamp =
+        retransmit_ ? injected + retransmit_timeout(bytes) : sim::kNever;
   } else {
-    if (d.status == Network::DeliveryStatus::kDelayed && counters_ != nullptr)
-      counters_->fault_injected += 1;
+    if (d.status == Network::DeliveryStatus::kDelayed) {
+      if (counters_ != nullptr) counters_->fault_injected += 1;
+      if (flight_ != nullptr)
+        flight_->record(obs::FlightKind::kMsgDelayed, now, dst,
+                        static_cast<std::int64_t>(req.msg_seq));
+    }
     // Eager protocol: the send completes locally once the message has been
     // injected into the network.
     req.complete_stamp = injected;
@@ -260,6 +281,10 @@ void Comm::match_visible() {
         counters_->messages_received += 1;
         counters_->bytes_received += target->bytes;
       }
+      if (flight_ != nullptr)
+        flight_->record(obs::FlightKind::kMsgMatch, now, src,
+                        static_cast<std::int64_t>(it->seq),
+                        static_cast<std::int64_t>(target->bytes));
       it = box.erase(it);
     }
   }
@@ -435,6 +460,25 @@ std::size_t Comm::pending_requests() const {
   for (const auto& req : requests_)
     if (!req.done) ++n;
   return n;
+}
+
+std::vector<Comm::PendingInfo> Comm::pending_details() const {
+  std::vector<PendingInfo> out;
+  for (const auto& req : requests_) {
+    if (req.done) continue;
+    PendingInfo info;
+    info.send = req.kind == Kind::kSend;
+    info.peer = req.peer;
+    info.tag = req.tag;
+    info.bytes = req.bytes;
+    info.stamp = req.complete_stamp;
+    info.lost = req.lost;
+    info.attempts = req.attempts;
+    info.msg_seq = req.msg_seq;
+    info.epoch = epoch_;
+    out.push_back(info);
+  }
+  return out;
 }
 
 }  // namespace usw::comm

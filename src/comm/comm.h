@@ -38,6 +38,10 @@
 #include "sim/coordinator.h"
 #include "support/units.h"
 
+namespace usw::obs {
+class FlightRecorder;
+}  // namespace usw::obs
+
 namespace usw::comm {
 
 /// Opaque handle to a pending operation. Encodes the slot index plus the
@@ -190,6 +194,36 @@ class Comm {
   /// Number of posted-but-incomplete requests (test hygiene).
   std::size_t pending_requests() const;
 
+  /// Wires a flight recorder; send/match/loss/retransmit events are logged
+  /// into it (timing side-effect free). nullptr disables.
+  void set_flight(obs::FlightRecorder* flight) { flight_ = flight; }
+
+  /// Enables/disables loss-timeout retransmission (default on). With it
+  /// off a lost send never completes: the sender's wake time becomes
+  /// kNever, so an all-lost exchange turns into a detectable virtual-time
+  /// deadlock instead of silently recovering — the knob the diagnostics
+  /// smoke tests use to induce a hang on purpose.
+  void set_retransmit(bool on) { retransmit_ = on; }
+  bool retransmit_enabled() const { return retransmit_; }
+
+  /// One posted-but-incomplete request, for diagnostic dumps.
+  struct PendingInfo {
+    bool send = false;
+    int peer = -1;
+    int tag = -1;
+    std::uint64_t bytes = 0;
+    TimePs stamp = 0;  ///< sends: completion/retransmit deadline; recvs: 0
+    bool lost = false;
+    int attempts = 0;
+    std::uint64_t msg_seq = 0;
+    std::size_t epoch = 0;
+  };
+
+  /// Snapshot of pending requests with epochs. Pure local read: touches no
+  /// shared state and never calls into the Coordinator, so it is safe from
+  /// a crash-dump source while this rank is parked.
+  std::vector<PendingInfo> pending_details() const;
+
   hw::PerfCounters* counters() { return counters_; }
 
  private:
@@ -238,6 +272,8 @@ class Comm {
   sim::Coordinator& coord_;
   int rank_;
   hw::PerfCounters* counters_;
+  obs::FlightRecorder* flight_ = nullptr;
+  bool retransmit_ = true;
   std::vector<Request> requests_;
   std::size_t epoch_ = 0;  ///< bumped by reset_requests; stamps RequestIds
   std::uint32_t coll_seq_ = 0;

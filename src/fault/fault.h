@@ -139,6 +139,10 @@ struct RecoveryConfig {
   TimePs step_deadline = 0;
   /// Upper bound on checkpoint restarts per run (termination guarantee).
   int max_restarts = 4;
+  /// Retransmit lost messages on the cost-model timeout (default on).
+  /// Disabling it turns message loss into a virtual-time deadlock — used
+  /// by the diagnostics smoke tests to induce a hang deterministically.
+  bool retransmit = true;
 };
 
 /// Per-rank view of a FaultPlan: folds the rank id and the restart

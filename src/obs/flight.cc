@@ -1,0 +1,60 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+
+namespace usw::obs {
+
+const char* to_string(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kRankPick: return "rank_pick";
+    case FlightKind::kStepBegin: return "step_begin";
+    case FlightKind::kStepEnd: return "step_end";
+    case FlightKind::kMsgSend: return "msg_send";
+    case FlightKind::kMsgMatch: return "msg_match";
+    case FlightKind::kMsgLost: return "msg_lost";
+    case FlightKind::kMsgRetransmit: return "msg_retransmit";
+    case FlightKind::kMsgDelayed: return "msg_delayed";
+    case FlightKind::kOffloadSpawn: return "offload_spawn";
+    case FlightKind::kOffloadDone: return "offload_done";
+    case FlightKind::kOffloadFail: return "offload_fail";
+    case FlightKind::kOffloadRetry: return "offload_retry";
+    case FlightKind::kGroupDegraded: return "group_degraded";
+    case FlightKind::kCheckpoint: return "checkpoint";
+    case FlightKind::kRestart: return "restart";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : slots_(capacity) {}
+
+void FlightRecorder::record(FlightKind kind, TimePs time, std::int64_t a,
+                            std::int64_t b, std::int64_t c) {
+  if (slots_.empty()) return;
+  const std::uint64_t seq = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<std::size_t>(seq % slots_.size())];
+  slot.stamp.store(0, std::memory_order_release);
+  slot.ev = FlightEvent{seq, time, kind, a, b, c};
+  slot.stamp.store(seq + 1, std::memory_order_release);
+  head_.store(seq + 1, std::memory_order_release);
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  const std::uint64_t head = recorded();
+  return head > slots_.size() ? head - slots_.size() : 0;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  if (slots_.empty()) return out;
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n = std::min<std::uint64_t>(head, slots_.size());
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t seq = head - n; seq < head; ++seq) {
+    const Slot& slot = slots_[static_cast<std::size_t>(seq % slots_.size())];
+    if (slot.stamp.load(std::memory_order_acquire) != seq + 1) continue;
+    out.push_back(slot.ev);
+  }
+  return out;
+}
+
+}  // namespace usw::obs

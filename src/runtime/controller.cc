@@ -1,6 +1,7 @@
 #include "runtime/controller.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include <memory>
@@ -19,6 +20,17 @@
 #include "support/log.h"
 
 namespace usw::runtime {
+
+namespace {
+
+/// Milliseconds of host wall-clock elapsed since `t0`.
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 void RunConfig::validate() const {
   machine.validate();
@@ -57,6 +69,13 @@ void RunConfig::validate() const {
   if (recovery.step_deadline > 0 && output_interval == 0)
     throw ConfigError("recovery.step_deadline requires checkpointing "
                       "(output_dir + output_interval)");
+  if (diag.hang_threshold < 0)
+    throw ConfigError("diag.hang_threshold must be >= 0");
+  if (!diag.dump_path.empty() && diag.flight_capacity == 0)
+    throw ConfigError("diag.dump_path requires flight recording "
+                      "(flight_capacity > 0)");
+  if (stream.enabled() && stream.interval < 1)
+    throw ConfigError("stream.interval must be >= 1");
 }
 
 TimePs RunResult::step_wall(int s) const {
@@ -107,6 +126,7 @@ std::vector<check::Violation> RunResult::all_violations() const {
 }
 
 RunResult run_simulation(const RunConfig& config, const Application& app) {
+  const auto host_setup_start = std::chrono::steady_clock::now();
   config.validate();
 
   const grid::Level level(config.problem.patch_layout, config.problem.patch_size);
@@ -173,24 +193,50 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
   result.timesteps = config.timesteps;
   result.ranks.resize(static_cast<std::size_t>(config.nranks));
 
+  // Diagnostics: flight rings for every rank plus the coordinator, crash
+  // and clean-finish dump writing, and the hang-watchdog sink. Declared
+  // before the streamer and the pool so it outlives everything that records
+  // into its rings.
+  obs::DiagHub diag_hub(config.diag, config.nranks);
+
+  // Streaming metrics (rank 0 emits while holding the token, so the other
+  // ranks' counters are quiescent when read).
+  std::optional<obs::MetricsStreamer> streamer;
+  if (config.stream.enabled())
+    streamer.emplace(config.stream, config.nranks, config.timesteps);
+  std::vector<const hw::PerfCounters*> rank_counters;
+  rank_counters.reserve(result.ranks.size());
+  for (const RankResult& r : result.ranks) rank_counters.push_back(&r.counters);
+
   // One worker pool serves every rank's cluster: only the token-holding
   // rank dispatches at any moment, so per-rank pools would mostly sleep
   // while multiplying thread counts by nranks. Declared before run_ranks
   // so it outlives every cluster that dispatches onto it.
   std::unique_ptr<athread::WorkerPool> cpe_pool;
-  if (config.backend == athread::Backend::kThreads)
+  if (config.backend == athread::Backend::kThreads) {
     cpe_pool = std::make_unique<athread::WorkerPool>(config.backend_threads);
+    // Queue-wait / lock-contention samples for the host profile. Host
+    // wall-clock only; never observed by the simulation.
+    cpe_pool->enable_profiling();
+  }
+
+  const auto host_run_start = std::chrono::steady_clock::now();
+  const double host_setup_ms = ms_since(host_setup_start);
 
   sim::run_ranks(config.nranks, [&](sim::Coordinator& coord, int rank) {
     RankResult& out = result.ranks[static_cast<std::size_t>(rank)];
     out.trace.enable(config.collect_trace);
 
+    obs::FlightRecorder& flight = diag_hub.rank_ring(rank);
     comm::Comm comm(network, coord, rank, &out.counters);
+    comm.set_flight(&flight);
+    comm.set_retransmit(config.recovery.retransmit);
     athread::CpeCluster cluster(cost, coord, rank, &out.counters,
                                 config.cpe_groups, config.backend,
                                 cpe_pool.get());
     if (schedule != nullptr) cluster.set_schedule(schedule.get());
     sched::SchedulerConfig sched_config = config.variant.scheduler_config();
+    sched_config.flight = &flight;
     sched_config.schedule = schedule.get();
     sched_config.backend = config.backend;
     sched_config.cpe_groups = config.cpe_groups;
@@ -241,6 +287,70 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
       }
     }
 
+    // Crash-dump snapshot source, registered BEFORE initialization runs:
+    // the canonical induced hang (an all-lost exchange with retransmission
+    // disabled) already deadlocks during the init sends. The source only
+    // reads rank-local state and never calls into the Coordinator (see
+    // DiagHub's source contract). `diag_sched` points at the timestep
+    // scheduler once it exists so mid-run dumps include queue depths.
+    sched::Scheduler* diag_sched = nullptr;
+    obs::DiagHub::Source diag_source =
+        diag_hub.add_source(rank, [&](obs::JsonWriter& w) {
+          w.key("comm");
+          w.begin_object();
+          w.kv("retransmit", comm.retransmit_enabled());
+          w.key("pending");
+          w.begin_array();
+          for (const comm::Comm::PendingInfo& p : comm.pending_details()) {
+            w.begin_object();
+            w.kv("kind", p.send ? "send" : "recv");
+            w.kv("peer", p.peer);
+            w.kv("tag", p.tag);
+            w.kv("bytes", p.bytes);
+            w.kv("t_ps", p.stamp == sim::kNever
+                             ? static_cast<std::int64_t>(-1)
+                             : static_cast<std::int64_t>(p.stamp));
+            w.kv("lost", p.lost);
+            w.kv("attempts", p.attempts);
+            w.kv("seq", p.msg_seq);
+            w.kv("epoch", static_cast<std::uint64_t>(p.epoch));
+            w.end_object();
+          }
+          w.end_array();
+          w.end_object();
+          w.key("cpe_groups_in_flight");
+          w.begin_array();
+          for (int g = 0; g < config.cpe_groups; ++g)
+            if (cluster.in_flight(g)) w.value(g);
+          w.end_array();
+          if (cpe_pool)
+            w.kv("pool_queue_depth",
+                 static_cast<std::uint64_t>(cpe_pool->queue_depth()));
+          if (diag_sched != nullptr) {
+            const sched::Scheduler::DiagStats d = diag_sched->diag_stats();
+            w.key("scheduler");
+            w.begin_object();
+            w.kv("step", d.step);
+            w.kv("ready", static_cast<std::uint64_t>(d.ready));
+            w.kv("open_recvs", static_cast<std::uint64_t>(d.open_recvs));
+            w.kv("open_sends", static_cast<std::uint64_t>(d.open_sends));
+            w.kv("done", d.done);
+            w.kv("offloads_in_flight", d.offloads_in_flight);
+            w.kv("degraded_groups", d.degraded_groups);
+            w.end_object();
+          }
+          if (hb_checker) {
+            w.key("hb_clocks");
+            w.begin_array();
+            for (const auto& vc : hb_checker->clocks()) {
+              w.begin_array();
+              for (const std::uint64_t c : vc) w.value(c);
+              w.end_array();
+            }
+            w.end_array();
+          }
+        });
+
     var::DataWarehouse old_dw(config.storage, -1);
     var::DataWarehouse new_dw(config.storage, 0);
 
@@ -252,6 +362,7 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
     ctx.dt = app.fixed_dt(level);
     ctx.functional = (config.storage == var::StorageMode::kFunctional);
 
+    const auto host_init_start = std::chrono::steady_clock::now();
     int start_step = 0;
     if (restart_archive) {
       // Restore the saved state instead of initializing: the fields were
@@ -284,12 +395,17 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
       out.init_wall = init_sched.execute(ctx).wall;
       old_dw.swap_in(new_dw);
     }
+    out.host_init_ms = ms_since(host_init_start);
+    // First watchdog heartbeat: initialization (or the restart load)
+    // finished, so the stall clock starts from here, not from t=0.
+    coord.heartbeat(rank);
 
     sched::SchedulerConfig step_config = sched_config;
     step_config.checker = step_checker.get();
     if (injector.active()) step_config.faults = &injector;
     sched::Scheduler sched(step_config, level, cg_step,
                            comm, cluster, out.counters, out.trace);
+    diag_sched = &sched;
 
     // Restart-capable step driver. Without a deadline this walks the steps
     // exactly like a plain for-loop; with recovery.step_deadline set, a
@@ -305,7 +421,10 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
       const int s = completed;
       ctx.step = start_step + s;
       new_dw.set_step(ctx.step + 1);
+      flight.record(obs::FlightKind::kStepBegin, coord.now(rank), ctx.step);
+      const auto host_step_start = std::chrono::steady_clock::now();
       const sched::StepStats stats = sched.execute(ctx);
+      const double host_step_ms = ms_since(host_step_start);
       if (deadline_active) {
         // Collective verdict: the restart decision must be identical on
         // every rank, so it is taken on the max wall across ranks (a
@@ -317,6 +436,8 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
           ++restarts_done;
           out.counters.fault_restarts += 1;
           if (config.collect_metrics) out.obs_metrics.count("fault.restarts");
+          flight.record(obs::FlightKind::kRestart, coord.now(rank),
+                        restarts_done, last_ckpt);
           // Fresh fault draws for the replay, or a step-pinned fault would
           // deterministically re-fire forever (max_restarts still bounds
           // that pathological case).
@@ -335,10 +456,12 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
           ctx.dt = meta.dt;
           completed = last_ckpt - start_step;
           out.step_walls.resize(static_cast<std::size_t>(completed));
+          out.host_step_ms.resize(static_cast<std::size_t>(completed));
           continue;
         }
       }
       out.step_walls.push_back(stats.wall);
+      out.host_step_ms.push_back(host_step_ms);
       if (output_archive &&
           ((s + 1) % config.output_interval == 0 || s + 1 == config.timesteps)) {
         // Save the just-computed state; the archive step counts completed
@@ -352,11 +475,20 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
                                       oa.patch_id,
                                       new_dw.get(oa.label, oa.patch_id));
         last_ckpt = archive_step;
+        flight.record(obs::FlightKind::kCheckpoint, coord.now(rank),
+                      archive_step);
       }
       ctx.time += ctx.dt;
       ctx.dt = app.next_dt(ctx, ctx.dt);
       old_dw.swap_in(new_dw);
       ++completed;
+      flight.record(obs::FlightKind::kStepEnd, coord.now(rank), ctx.step);
+      coord.heartbeat(rank);
+      if (rank == 0 && streamer &&
+          (completed % streamer->interval() == 0 ||
+           completed == config.timesteps))
+        streamer->emit(ctx.step, coord.now(rank), rank_counters,
+                       cpe_pool ? cpe_pool->queue_depth() : 0);
     }
 
     app.on_rank_complete(ctx, comm, part.patches_of(rank), out.metrics);
@@ -379,7 +511,7 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
                               static_cast<double>(hb_checker->forks()));
       }
     }
-  }, schedule.get(), lookahead);
+  }, schedule.get(), lookahead, &diag_hub, config.diag.hang_threshold);
 
   if (config.check.enabled && config.check.comm)
     result.comm_violations = check::lint_network_shutdown(network);
@@ -399,6 +531,48 @@ RunResult run_simulation(const RunConfig& config, const Application& app) {
       }
     }
   }
+
+  // Host-side profile: phase timers, per-rank init/step wall-clock, worker
+  // pool queue-wait and contention samples, schedule-point overhead. Kept
+  // in its own registry — host numbers never enter the per-rank (gated)
+  // metrics or default stdout.
+  result.host.enabled = true;
+  obs::MetricsRegistry& hostm = result.host.reg;
+  hostm.count("host.setup_ms", host_setup_ms);
+  hostm.count("host.run_ms", ms_since(host_run_start));
+  for (const RankResult& r : result.ranks) {
+    hostm.sample("host.rank_init_ms", r.host_init_ms);
+    for (const double ms : r.host_step_ms) hostm.sample("host.step_ms", ms);
+  }
+  if (cpe_pool && cpe_pool->profiling()) {
+    const athread::WorkerPool::PoolStats ps = cpe_pool->stats();
+    hostm.count("host.pool_tasks", static_cast<double>(ps.tasks));
+    if (ps.samples_dropped > 0)
+      hostm.count("host.pool_samples_dropped",
+                  static_cast<double>(ps.samples_dropped));
+    for (const double v : ps.queue_wait_us)
+      hostm.sample("host.pool_queue_wait_us", v);
+    for (const double v : ps.lock_wait_us)
+      hostm.sample("host.pool_lock_wait_us", v);
+    for (const std::uint64_t n : ps.per_worker)
+      hostm.sample("host.pool_tasks_per_worker", static_cast<double>(n));
+  }
+  if (schedule != nullptr) {
+    const schedpt::ScheduleController::HostOverhead oh =
+        schedule->host_overhead();
+    for (int k = 0; k < schedpt::kNumPointKinds; ++k) {
+      if (oh.calls[k] == 0) continue;
+      const std::string base =
+          std::string("host.schedpt_") +
+          schedpt::to_string(static_cast<schedpt::PointKind>(k));
+      hostm.count(base + "_ns", static_cast<double>(oh.ns[k]));
+      hostm.count(base + "_calls", static_cast<double>(oh.calls[k]));
+    }
+  }
+
+  // Clean-finish diagnostic dump (crash dumps were written by the hub's
+  // on_crash before run_ranks rethrew; this path only runs on success).
+  result.diag_dump_path = diag_hub.write_final(&result.host);
 
   return result;
 }

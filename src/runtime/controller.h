@@ -17,8 +17,11 @@
 #include "grid/partition.h"
 #include "hw/machine_params.h"
 #include "hw/perf_counters.h"
+#include "obs/diag.h"
+#include "obs/host_profile.h"
 #include "obs/observation.h"
 #include "obs/registry.h"
+#include "obs/stream.h"
 #include "runtime/application.h"
 #include "runtime/problem.h"
 #include "runtime/variant.h"
@@ -90,6 +93,18 @@ struct RunConfig {
   /// checkpointing, i.e. output_dir + output_interval).
   fault::RecoveryConfig recovery;
 
+  /// Diagnostics (uswsim --diag-dump / --flight-capacity /
+  /// --hang-threshold-us): per-rank flight-recorder rings, the virtual-time
+  /// hang watchdog, and structured dump targets. The defaults (recording
+  /// on, watchdog at 10 virtual seconds) add no bit-level difference to
+  /// any run — flight events are observations, never decisions.
+  obs::DiagConfig diag;
+
+  /// Streaming metrics (uswsim --metrics-stream=FILE[:interval]): rank 0
+  /// appends one JSONL snapshot of cross-rank counters every `interval`
+  /// completed timesteps. Disabled when `stream.file` is empty.
+  obs::StreamSpec stream;
+
   // ---- Output / checkpoint (functional storage only) ----
   /// Archive directory; empty = no output.
   std::string output_dir;
@@ -115,6 +130,12 @@ struct RankResult {
   obs::TaskGraphInfo graph_info;
   /// Validator findings for this rank (empty unless RunConfig::check is on).
   std::vector<check::Violation> violations;
+  /// Host (real) wall-clock per executed timestep, milliseconds. Restarted
+  /// steps are truncated like step_walls, so indices line up. Machine-
+  /// dependent: reported in the host profile only, never in gated output.
+  std::vector<double> host_step_ms;
+  /// Host wall-clock of this rank's initialization (or restart load), ms.
+  double host_init_ms = 0.0;
 };
 
 struct RunResult {
@@ -126,6 +147,12 @@ struct RunResult {
   /// Schedule-point decisions taken across the run (all kinds zero when
   /// RunConfig::schedule is Mode::kDefault).
   schedpt::PointCounters schedule_points;
+  /// Host-side profile: phase wall-clock, worker-pool queue-wait and
+  /// lock-contention histograms, per-schedule-point-kind overhead. Always
+  /// filled (cheap); machine-dependent, so it never feeds gated output.
+  obs::HostProfile host;
+  /// Path the diagnostic dump was written to ("" if none was requested).
+  std::string diag_dump_path;
 
   /// All validator findings across ranks plus the run-level comm lint.
   std::size_t total_violations() const;

@@ -6,6 +6,7 @@
 
 #include "check/check.h"
 #include "check/hb.h"
+#include "obs/flight.h"
 #include "obs/registry.h"
 #include "schedpt/schedule.h"
 #include "sched/tile_exec.h"
@@ -41,6 +42,20 @@ Scheduler::Scheduler(SchedulerConfig config, const grid::Level& level,
       cluster_(cluster), counters_(counters), trace_(trace),
       degraded_(static_cast<std::size_t>(cluster.n_groups()), 0),
       fail_streak_(static_cast<std::size_t>(cluster.n_groups()), 0) {}
+
+Scheduler::DiagStats Scheduler::diag_stats() const {
+  DiagStats out;
+  out.step = step_;
+  out.ready = ready_.size();
+  out.open_recvs = open_recvs_.size();
+  out.open_sends = open_sends_.size();
+  out.done = done_count_;
+  for (const int dt : offloaded_)
+    if (dt >= 0) ++out.offloads_in_flight;
+  for (const char d : degraded_)
+    if (d != 0) ++out.degraded_groups;
+  return out;
+}
 
 var::DataWarehouse& Scheduler::dw_for(task::TaskContext& ctx,
                                       task::WhichDW which) const {
@@ -360,6 +375,9 @@ void Scheduler::offload_stencil(task::TaskContext& ctx, int dt_index, int group)
     }
   }
   cluster_.spawn(std::move(job), group);
+  if (config_.flight != nullptr)
+    config_.flight->record(obs::FlightKind::kOffloadSpawn, comm_.now(), dt_index,
+                           group);
   if (config_.hb != nullptr) {
     // The offload is a forked logical thread: its accesses are ordered
     // after everything the MPE did before the spawn, and before anything
@@ -436,6 +454,9 @@ bool Scheduler::offload_fault_check(int dt_index, int group) {
   }
   counters_.fault_injected += 1;
   if (config_.metrics != nullptr) config_.metrics->count("fault.injected");
+  if (config_.flight != nullptr)
+    config_.flight->record(obs::FlightKind::kOffloadFail, comm_.now(), dt_index,
+                           group);
   const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
   const sim::EventIds ids{step_, dt_index, dt.patch_id, -1, -1, group, 0};
   const std::string label =
@@ -448,11 +469,17 @@ bool Scheduler::offload_fault_check(int dt_index, int group) {
     degraded_[static_cast<std::size_t>(group)] = 1;
     counters_.fault_degraded += 1;
     if (config_.metrics != nullptr) config_.metrics->count("fault.degraded");
+    if (config_.flight != nullptr)
+      config_.flight->record(obs::FlightKind::kGroupDegraded, comm_.now(),
+                             group);
   }
   return true;
 }
 
 void Scheduler::charge_retry_backoff(int dt_index, int attempt) {
+  if (config_.flight != nullptr)
+    config_.flight->record(obs::FlightKind::kOffloadRetry, comm_.now(), dt_index,
+                           attempt);
   TimePs backoff = config_.recovery.retry_backoff;
   for (int a = 1; a < attempt; ++a) backoff *= 2;
   const task::DetailedTask& dt = graph_.tasks[static_cast<std::size_t>(dt_index)];
@@ -666,6 +693,9 @@ void Scheduler::run_loop_sync(task::TaskContext& ctx) {
             cluster_.join(g);
             if (config_.hb != nullptr) config_.hb->join(g);
             sample_offload_imbalance(g);
+            if (config_.flight != nullptr)
+              config_.flight->record(obs::FlightKind::kOffloadDone, comm_.now(),
+                                     t, g);
             trace_.record(comm_.now(), sim::EventKind::kWaitEnd, "cpe-spin",
                           sim::EventIds{step_, t, dt.patch_id, -1, -1, g, 0});
             trace_.record(comm_.now(), sim::EventKind::kOffloadEnd, label,
@@ -721,6 +751,9 @@ void Scheduler::run_loop_async(task::TaskContext& ctx) {
         offloaded_[static_cast<std::size_t>(g)] = -1;
         if (config_.hb != nullptr) config_.hb->join(g);
         sample_offload_imbalance(g);
+        if (config_.flight != nullptr)
+          config_.flight->record(obs::FlightKind::kOffloadDone, comm_.now(),
+                                 finished, g);
         const task::DetailedTask& fdt =
             graph_.tasks[static_cast<std::size_t>(finished)];
         trace_.record(comm_.now(), sim::EventKind::kOffloadEnd,

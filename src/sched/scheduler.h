@@ -46,6 +46,7 @@ class HbChecker;
 }  // namespace usw::check
 
 namespace usw::obs {
+class FlightRecorder;
 class MetricsRegistry;
 }  // namespace usw::obs
 
@@ -130,6 +131,12 @@ struct SchedulerConfig {
   /// backoff on the same (or a spare) CPE group, then degrade the group to
   /// MPE-only execution after repeated failures.
   fault::RecoveryConfig recovery;
+
+  /// Opt-in flight recorder (src/obs/flight.h): offload spawn/complete/
+  /// fail/retry and degradation events are logged as they happen so a
+  /// crash dump can show the runtime's last moves. Timing side-effect
+  /// free. Null (the default) costs nothing.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// Per-timestep result for one rank.
@@ -150,6 +157,19 @@ class Scheduler {
   StepStats execute(task::TaskContext& ctx);
 
   const SchedulerConfig& config() const { return config_; }
+
+  /// Mid-step queue-depth snapshot for diagnostic dumps. Pure local read;
+  /// safe to call while the rank is parked on the coordinator.
+  struct DiagStats {
+    int step = -1;
+    std::size_t ready = 0;
+    std::size_t open_recvs = 0;
+    std::size_t open_sends = 0;
+    int done = 0;
+    int offloads_in_flight = 0;
+    int degraded_groups = 0;
+  };
+  DiagStats diag_stats() const;
 
  private:
   struct DtState {

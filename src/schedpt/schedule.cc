@@ -1,5 +1,6 @@
 #include "schedpt/schedule.h"
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 
@@ -309,12 +310,20 @@ int ScheduleController::choose(PointKind kind, int rank, int n) {
   // A single candidate carries no decision: skipping it (identically in
   // every mode) keeps recordings minimal and replay-compatible.
   if (n <= 1) return 0;
+  const auto host_t0 = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lk(mu_);
   const int chosen = decide(kind, rank, n, total_);
   USW_ASSERT_MSG(chosen >= 0 && chosen < n, "controller chose out of range");
   counters_.by_kind[static_cast<int>(kind)] += 1;
   ++total_;
   if (logging()) log_.push_back(Entry{kind, rank, n, chosen});
+  // Host-profile bookkeeping only; the measured time never influences the
+  // decision or any virtual clock.
+  host_.ns[static_cast<int>(kind)] += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - host_t0)
+          .count());
+  host_.calls[static_cast<int>(kind)] += 1;
   return chosen;
 }
 
@@ -326,6 +335,11 @@ void ScheduleController::finish() {
 PointCounters ScheduleController::counters() const {
   std::lock_guard<std::mutex> lk(mu_);
   return counters_;
+}
+
+ScheduleController::HostOverhead ScheduleController::host_overhead() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return host_;
 }
 
 std::uint64_t ScheduleController::points_seen() const {

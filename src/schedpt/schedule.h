@@ -127,6 +127,15 @@ class ScheduleController {
   /// Decision counts so far (snapshot under the lock).
   PointCounters counters() const;
 
+  /// Host wall-clock overhead of choose(), per point kind: nanoseconds
+  /// spent deciding and how many decisions were timed. Never fed back into
+  /// the simulation (host numbers only appear in the host profile).
+  struct HostOverhead {
+    std::uint64_t ns[kNumPointKinds] = {0, 0, 0, 0};
+    std::uint64_t calls[kNumPointKinds] = {0, 0, 0, 0};
+  };
+  HostOverhead host_overhead() const;
+
   /// Total decisions so far — the "schedule point index" used as
   /// provenance by the happens-before checker.
   std::uint64_t points_seen() const;
@@ -158,6 +167,7 @@ class ScheduleController {
   const ScheduleSpec spec_;
   mutable std::mutex mu_;
   PointCounters counters_;
+  HostOverhead host_;
   std::uint64_t total_ = 0;
   std::vector<Entry> log_;
 };

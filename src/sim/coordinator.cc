@@ -82,16 +82,59 @@ void Coordinator::notify(int rank, TimePs stamp) {
 
 void Coordinator::cancel(const std::string& why) {
   std::lock_guard<std::mutex> lk(lock_);
-  if (cancelled_) return;
-  cancelled_ = true;
-  cancel_reason_ = why;
-  running_ = -1;
-  for (auto& slot : ranks_) slot.cv.notify_all();
+  crash_locked(why);
 }
 
 bool Coordinator::cancelled() const {
   std::lock_guard<std::mutex> lk(lock_);
   return cancelled_;
+}
+
+std::string Coordinator::cancel_reason() const {
+  std::lock_guard<std::mutex> lk(lock_);
+  return cancel_reason_;
+}
+
+void Coordinator::set_diag(DiagSink* diag, TimePs stall_threshold) {
+  USW_ASSERT_MSG(stall_threshold >= 0, "negative stall threshold");
+  std::lock_guard<std::mutex> lk(lock_);
+  diag_ = diag;
+  stall_threshold_ = stall_threshold;
+}
+
+void Coordinator::heartbeat(int rank) {
+  std::lock_guard<std::mutex> lk(lock_);
+  const RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+  USW_ASSERT_MSG(slot.state == State::kRunning || cancelled_,
+                 "heartbeat requires the token");
+  progress_mark_ = std::max(progress_mark_, slot.clock);
+}
+
+void Coordinator::crash_locked(const std::string& why) {
+  if (cancelled_) return;
+  cancelled_ = true;
+  cancel_reason_ = why;
+  running_ = -1;
+  // Snapshot + dump BEFORE waking anyone: parked ranks cannot unwind (and
+  // destroy the state diagnostic providers point at) until the cv fires.
+  if (diag_ != nullptr) {
+    std::vector<RankStatus> status;
+    status.reserve(ranks_.size());
+    for (int r = 0; r < size(); ++r) {
+      const RankSlot& slot = ranks_[static_cast<std::size_t>(r)];
+      char st = '?';
+      switch (slot.state) {
+        case State::kUnstarted: st = 'u'; break;
+        case State::kReady: st = 'r'; break;
+        case State::kRunning: st = 'R'; break;
+        case State::kWaiting: st = 'w'; break;
+        case State::kFinished: st = 'f'; break;
+      }
+      status.push_back(RankStatus{r, st, slot.clock, slot.wake});
+    }
+    diag_->on_crash(why, status);
+  }
+  for (auto& slot : ranks_) slot.cv.notify_all();
 }
 
 void Coordinator::set_schedule(schedpt::ScheduleController* schedule,
@@ -148,11 +191,22 @@ void Coordinator::pick_next_locked() {
       if (slot.state == State::kWaiting)
         os << " rank " << r << " waiting at t=" << slot.clock;
     }
-    cancelled_ = true;
-    cancel_reason_ = os.str();
-    for (auto& slot : ranks_) slot.cv.notify_all();
+    crash_locked(os.str());
     return;
   }
+  // Hang watchdog: granting the token at best_time would mean no timestep
+  // has completed for more than stall_threshold_ of virtual time — some
+  // rank is spinning/retrying without making application progress.
+  if (diag_ != nullptr && stall_threshold_ > 0 &&
+      best_time != kNever && best_time - progress_mark_ > stall_threshold_) {
+    std::ostringstream os;
+    os << "hang watchdog: no step completed between t=" << progress_mark_
+       << " and t=" << best_time << " ps (threshold " << stall_threshold_
+       << " ps); stalled at rank " << best;
+    crash_locked(os.str());
+    return;
+  }
+  int n_candidates = 1;
   if (schedule_ != nullptr) {
     // Schedule point: any rank whose effective time is STRICTLY inside
     // [best_time, best_time + lookahead_) may legally run next (see
@@ -170,8 +224,9 @@ void Coordinator::pick_next_locked() {
       if (eff != kNever && eff - best_time < lookahead_)
         candidates.push_back(r);
     }
-    const int pick = schedule_->choose(schedpt::PointKind::kRankPick, best,
-                                       static_cast<int>(candidates.size()));
+    n_candidates = static_cast<int>(candidates.size());
+    const int pick =
+        schedule_->choose(schedpt::PointKind::kRankPick, best, n_candidates);
     best = candidates[static_cast<std::size_t>(pick)];
   }
   RankSlot& chosen = ranks_[static_cast<std::size_t>(best)];
@@ -181,6 +236,7 @@ void Coordinator::pick_next_locked() {
   }
   chosen.state = State::kRunning;
   running_ = best;
+  if (diag_ != nullptr) diag_->on_rank_pick(best, n_candidates, chosen.clock);
   chosen.cv.notify_all();
 }
 
@@ -197,9 +253,11 @@ void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body) {
 }
 
 void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body,
-               schedpt::ScheduleController* schedule, TimePs lookahead) {
+               schedpt::ScheduleController* schedule, TimePs lookahead,
+               DiagSink* diag, TimePs stall_threshold) {
   Coordinator coord(nranks);
   if (schedule != nullptr) coord.set_schedule(schedule, lookahead);
+  if (diag != nullptr) coord.set_diag(diag, stall_threshold);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   threads.reserve(static_cast<std::size_t>(nranks));
@@ -211,6 +269,9 @@ void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body,
         coord.finish(r);
       } catch (const Cancelled&) {
         // Another rank failed (or deadlock); its error is reported below.
+      } catch (const std::exception& e) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        coord.cancel("rank " + std::to_string(r) + " threw: " + e.what());
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
         coord.cancel("rank " + std::to_string(r) + " threw an exception");
@@ -220,9 +281,10 @@ void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body,
   for (auto& t : threads) t.join();
   for (const auto& err : errors)
     if (err) std::rethrow_exception(err);
-  // A deadlock cancels every rank with sim::Cancelled, which the lambda
-  // swallows; surface it as a StateError here.
-  if (coord.cancelled()) throw StateError("simulation did not complete (deadlock)");
+  // A deadlock (or watchdog stall) cancels every rank with sim::Cancelled,
+  // which the lambda swallows; surface it as a StateError here.
+  if (coord.cancelled())
+    throw StateError("simulation did not complete (" + coord.cancel_reason() + ")");
 }
 
 }  // namespace usw::sim

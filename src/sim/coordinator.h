@@ -59,6 +59,35 @@ class Cancelled : public Error {
   explicit Cancelled(const std::string& why) : Error("simulation cancelled: " + why) {}
 };
 
+/// Point-in-time view of one rank for a diagnostic snapshot. `state` is a
+/// single letter: 'u' unstarted, 'r' ready, 'R' running, 'w' waiting,
+/// 'f' finished. `wake` is kNever when the rank has no locally-known event.
+struct RankStatus {
+  int rank = -1;
+  char state = '?';
+  TimePs clock = 0;
+  TimePs wake = kNever;
+};
+
+/// Diagnostic sink wired into the Coordinator (implemented by obs::DiagHub;
+/// declared here so sim does not depend on obs). Both callbacks run with
+/// the coordinator lock held:
+///  - on_rank_pick: a token grant was decided; cheap, called per grant.
+///  - on_crash: the run is being cancelled (deadlock, watchdog stall, or an
+///    explicit cancel). Called exactly once, BEFORE parked ranks are woken,
+///    so their per-rank state is frozen and safe to snapshot — except ranks
+///    whose status letter is 'R': a cancel raised by a throwing rank can
+///    leave another rank mid-execution, so implementations must not touch
+///    per-rank state of running ranks. Implementations must never call back
+///    into the Coordinator (self-deadlock on the held lock).
+class DiagSink {
+ public:
+  virtual ~DiagSink() = default;
+  virtual void on_rank_pick(int rank, int candidates, TimePs time) = 0;
+  virtual void on_crash(const std::string& reason,
+                        const std::vector<RankStatus>& ranks) = 0;
+};
+
 class Coordinator {
  public:
   explicit Coordinator(int nranks);
@@ -98,6 +127,22 @@ class Coordinator {
 
   bool cancelled() const;
 
+  /// Why the run was cancelled ("" if it was not).
+  std::string cancel_reason() const;
+
+  /// Installs a diagnostic sink (see DiagSink). `stall_threshold > 0` also
+  /// arms the hang watchdog: if the next token grant would advance virtual
+  /// time more than `stall_threshold` past the last heartbeat() mark, the
+  /// run is cancelled with a "hang watchdog" reason and the sink's
+  /// on_crash fires. 0 disables the watchdog (the sink still gets crash
+  /// dumps from deadlocks and explicit cancels).
+  void set_diag(DiagSink* diag, TimePs stall_threshold);
+
+  /// Marks application-level progress (a completed timestep) at `rank`'s
+  /// current clock. The watchdog measures stall as virtual time elapsed
+  /// since the newest mark. Requires the token.
+  void heartbeat(int rank);
+
   /// Installs a schedule controller for the kRankPick point. When set, the
   /// token grant may go to any rank whose effective time lies STRICTLY
   /// within `lookahead` of the minimum clock instead of always the minimum.
@@ -125,6 +170,10 @@ class Coordinator {
   /// Blocks the calling rank until it is running (or cancellation).
   void block_until_running_locked(std::unique_lock<std::mutex>& lk, int rank);
 
+  /// Cancels with `why`, fires diag_->on_crash (if any) while every parked
+  /// rank is still frozen, then wakes everyone. Requires lock_ held.
+  void crash_locked(const std::string& why);
+
   mutable std::mutex lock_;
   std::vector<RankSlot> ranks_;
   int running_ = -1;
@@ -132,6 +181,9 @@ class Coordinator {
   std::string cancel_reason_;
   schedpt::ScheduleController* schedule_ = nullptr;
   TimePs lookahead_ = 0;
+  DiagSink* diag_ = nullptr;
+  TimePs stall_threshold_ = 0;  // 0 = watchdog off
+  TimePs progress_mark_ = 0;    // newest heartbeat() clock
 };
 
 /// Runs `body` once per rank on `nranks` host threads under a Coordinator.
@@ -139,8 +191,12 @@ class Coordinator {
 void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body);
 
 /// As above, with a schedule controller (may be null) deciding the
-/// coordinator's kRankPick points within `lookahead` of the minimum clock.
+/// coordinator's kRankPick points within `lookahead` of the minimum clock,
+/// and an optional diagnostic sink + hang-watchdog threshold (see
+/// Coordinator::set_diag). On cancellation the StateError carries the
+/// cancel reason.
 void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body,
-               schedpt::ScheduleController* schedule, TimePs lookahead);
+               schedpt::ScheduleController* schedule, TimePs lookahead,
+               DiagSink* diag = nullptr, TimePs stall_threshold = 0);
 
 }  // namespace usw::sim

@@ -13,6 +13,7 @@
 #include "apps/burgers/burgers_app.h"
 #include "obs/chrome_trace.h"
 #include "obs/critical_path.h"
+#include "obs/host_profile.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -324,6 +325,81 @@ TEST(Report, PrintsTables) {
   EXPECT_NE(out.find("Run totals"), std::string::npos);
   EXPECT_NE(out.find("Per-timestep breakdown"), std::string::npos);
   EXPECT_NE(out.find("Critical chain"), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyObservationProducesBalancedJson) {
+  // A trace with zero spans (tracing off, or a 0-step run) must still
+  // export structurally valid JSON, not crash or emit dangling commas.
+  RunObservation run;
+  run.nranks = 1;
+  run.timesteps = 0;
+  run.ranks.emplace_back();
+  std::ostringstream os;
+  write_chrome_trace(os, run);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['), std::count(j.begin(), j.end(), ']'));
+}
+
+TEST(Report, ZeroSpanObservationDoesNotCrash) {
+  RunObservation run;
+  run.nranks = 1;
+  run.timesteps = 0;
+  run.ranks.emplace_back();
+  std::ostringstream os;
+  print_report(os, build_metrics(run), run);
+  EXPECT_NE(os.str().find("Run totals"), std::string::npos);
+}
+
+// ---------------------------------------------------------- host profile ---
+
+TEST(HostProfile, EmptyProfilePrintsPlaceholder) {
+  HostProfile host;
+  std::ostringstream os;
+  print_host_profile(os, host);
+  EXPECT_NE(os.str().find("(no host samples)"), std::string::npos);
+  EXPECT_NE(os.str().find("machine-dependent"), std::string::npos);
+}
+
+TEST(HostProfile, SingleSamplePercentilesDegenerate) {
+  // One sample: every percentile must equal it (no interpolation blowups).
+  HostProfile host;
+  host.enabled = true;
+  host.reg.sample("host.step_ms", 4.0);
+  host.reg.count("host.run_ms", 9.5);
+  std::ostringstream os;
+  print_host_profile(os, host);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("host.step_ms"), std::string::npos);
+  EXPECT_NE(out.find("host.run_ms"), std::string::npos);
+  const Distribution* d = host.reg.distribution("host.step_ms");
+  ASSERT_NE(d, nullptr);
+  EXPECT_DOUBLE_EQ(d->pct(0), 4.0);
+  EXPECT_DOUBLE_EQ(d->pct(50), 4.0);
+  EXPECT_DOUBLE_EQ(d->pct(95), 4.0);
+  EXPECT_DOUBLE_EQ(d->pct(100), 4.0);
+}
+
+TEST(HostProfile, JsonDisabledIsEmptyObjectEnabledHasStats) {
+  HostProfile host;
+  host.reg.sample("host.step_ms", 1.0);  // present but disabled: omitted
+  {
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    write_host_profile_json(w, host);
+    EXPECT_EQ(os.str(), "{}");
+  }
+  host.enabled = true;
+  host.reg.sample("host.step_ms", 3.0);
+  {
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    write_host_profile_json(w, host);
+    EXPECT_NE(os.str().find("\"host.step_ms\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"count\":2"), std::string::npos);
+    EXPECT_NE(os.str().find("\"p95\""), std::string::npos);
+  }
 }
 
 // ----------------------------------------------------------- end to end ---
