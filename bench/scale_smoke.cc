@@ -1,0 +1,90 @@
+// Scale smoke: the conservative parallel coordinator against the serial
+// token at 128/512/1024 simulated CGs (one host thread per CG). Extends
+// the Fig 5 / Table 5 experiment grid an order of magnitude past the
+// paper's 128-CG ceiling: a 1024-patch heat-free Burgers problem, one
+// patch per CG at the top of the sweep.
+//
+// The bench asserts the tentpole contract on every case — virtual step
+// walls and counted flops must be bit-identical between coordinators —
+// and reports host wall-clock side by side so the serial-vs-parallel
+// speedup lands in EXPERIMENTS.md. In the JSON report the coordinator is
+// folded into the variant key ("acc_simd.async@parallel"): virtual
+// metrics are exact-gated as usual, host_ms only at the LOOSE class.
+//
+// Options:
+//   --max-ranks=N    largest CG count (default 1024; CI budget knob)
+//   --steps=N        timesteps per case (default 2)
+//   --backend=serial|threads --backend-threads=N
+//       CPE execution backend; virtual numbers are identical either way.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "json_report.h"
+#include "runtime/problem.h"
+#include "runtime/variant.h"
+#include "support/options.h"
+#include "support/table.h"
+#include "sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace usw;
+  const Options opts(argc, argv);
+  const int max_ranks = static_cast<int>(opts.get_int("max-ranks", 1024));
+  const int steps = static_cast<int>(opts.get_int("steps", 2));
+  bench::Sweep sweep(steps);
+  sweep.set_backend(athread::backend_from_string(opts.get("backend", "serial")),
+                    static_cast<int>(opts.get_int("backend-threads", 0)));
+  bench::JsonReport json("scale_smoke");
+
+  // 16x8x8 = 1024 patches of 8^3 cells: every CG count in the sweep gets
+  // at least one whole patch.
+  const runtime::ProblemSpec problem =
+      runtime::tiny_problem({16, 8, 8}, {8, 8, 8});
+  const runtime::Variant variant = runtime::variant_by_name("acc_simd.async");
+
+  std::vector<int> cg_counts;
+  for (int cgs : {128, 512, 1024})
+    if (cgs <= max_ranks) cg_counts.push_back(cgs);
+
+  TextTable table("Scale smoke: " + variant.name + " on " + problem.name +
+                  ", " + std::to_string(steps) + " steps");
+  table.set_header({"CGs", "step (virtual)", "serial host", "parallel host",
+                    "speedup"});
+  bool mismatch = false;
+  for (int cgs : cg_counts) {
+    sweep.set_coordinator(sim::CoordinatorSpec{});
+    const bench::CaseResult serial = sweep.run(problem, variant, cgs);
+    sweep.set_coordinator(sim::CoordinatorSpec::parse("parallel"));
+    const bench::CaseResult parallel = sweep.run(problem, variant, cgs);
+
+    if (serial.mean_step != parallel.mean_step ||
+        serial.counted_flops != parallel.counted_flops) {
+      std::fprintf(stderr,
+                   "ERROR: coordinator results diverge at %d CGs: "
+                   "step %lld vs %lld ps, flops %.0f vs %.0f\n",
+                   cgs, static_cast<long long>(serial.mean_step),
+                   static_cast<long long>(parallel.mean_step),
+                   serial.counted_flops, parallel.counted_flops);
+      mismatch = true;
+    }
+    json.add({problem.name, variant.name + "@serial", cgs}, serial);
+    json.add({problem.name, variant.name + "@parallel", cgs}, parallel);
+
+    char speedup[32];
+    std::snprintf(speedup, sizeof speedup, "%.2fx",
+                  parallel.host_ms > 0.0 ? serial.host_ms / parallel.host_ms
+                                         : 0.0);
+    char shost[32], phost[32];
+    std::snprintf(shost, sizeof shost, "%.0f ms", serial.host_ms);
+    std::snprintf(phost, sizeof phost, "%.0f ms", parallel.host_ms);
+    table.add_row({std::to_string(cgs), format_duration(serial.mean_step),
+                   shost, phost, speedup});
+  }
+  table.print(std::cout);
+  const std::string path = json.write();
+  if (!path.empty()) std::cout << "wrote " << path << "\n";
+  return mismatch ? EXIT_FAILURE : EXIT_SUCCESS;
+}

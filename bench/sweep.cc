@@ -12,7 +12,8 @@ namespace usw::bench {
 
 const CaseResult& Sweep::run(const runtime::ProblemSpec& problem,
                              const runtime::Variant& variant, int ranks) {
-  const CaseKey key{problem.name, variant.name, ranks};
+  const CaseKey key{problem.name, variant.name, ranks,
+                    coordinator_.parallel() ? coordinator_.describe() : ""};
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 
@@ -26,6 +27,7 @@ const CaseResult& Sweep::run(const runtime::ProblemSpec& problem,
   config.collect_metrics = observe_;
   config.backend = backend_;
   config.backend_threads = backend_threads_;
+  config.coordinator = coordinator_;
 
   apps::burgers::BurgersApp app;
   const auto host_start = std::chrono::steady_clock::now();

@@ -22,10 +22,13 @@ struct CaseKey {
   std::string problem;
   std::string variant;
   int ranks = 0;
+  /// Coordinator description ("" = serial). Only the scale benches vary
+  /// it; it stays out of the JSON key (virtual results are identical).
+  std::string coordinator;
 
   friend bool operator<(const CaseKey& a, const CaseKey& b) {
-    return std::tie(a.problem, a.variant, a.ranks) <
-           std::tie(b.problem, b.variant, b.ranks);
+    return std::tie(a.problem, a.variant, a.ranks, a.coordinator) <
+           std::tie(b.problem, b.variant, b.ranks, b.coordinator);
   }
 };
 
@@ -63,6 +66,13 @@ class Sweep {
     backend_threads_ = backend_threads;
   }
 
+  /// Selects how simulated ranks are granted execution for subsequent
+  /// runs (serial token vs windowed parallel; see sim/coordinator.h).
+  /// Virtual results are identical either way; only host_ms changes.
+  void set_coordinator(const sim::CoordinatorSpec& spec) {
+    coordinator_ = spec;
+  }
+
   /// Runs (or returns the cached) case.
   const CaseResult& run(const runtime::ProblemSpec& problem,
                         const runtime::Variant& variant, int ranks);
@@ -78,6 +88,7 @@ class Sweep {
   bool observe_ = false;
   athread::Backend backend_ = athread::Backend::kSerial;
   int backend_threads_ = 0;
+  sim::CoordinatorSpec coordinator_;
   std::map<CaseKey, CaseResult> cache_;
 };
 

@@ -61,12 +61,14 @@ LOOSE_HIGHER_IS_WORSE = {"host_ms": 24.0}
 
 
 class Delta:
-    def __init__(self, where, metric, base, fresh, worse, note=""):
+    def __init__(self, where, metric, base, fresh, worse, cls, band, note=""):
         self.where = where
         self.metric = metric
         self.base = base
         self.fresh = fresh
         self.worse = worse  # True = regression direction
+        self.cls = cls      # tolerance class the metric was judged under
+        self.band = band    # human-readable allowed band for that class
         self.note = note
 
     def rel(self):
@@ -75,15 +77,31 @@ class Delta:
         return (self.fresh - self.base) / abs(self.base)
 
 
+def metric_class(metric, tolerance):
+    """Tolerance class and allowed band for a metric, as shown in the
+    failure table: every flagged delta names the rule it broke."""
+    if metric in EXACT:
+        return "EXACT", f"|delta| <= {EXACT_REL:g} rel"
+    if metric in LOOSE_HIGHER_IS_WORSE:
+        return ("LOOSE_HIGHER_IS_WORSE",
+                f"<= +{LOOSE_HIGHER_IS_WORSE[metric]:.0%}")
+    if metric in HIGHER_IS_WORSE:
+        return "HIGHER_IS_WORSE", f"<= +{tolerance:.0%}"
+    if metric in LOWER_IS_WORSE:
+        return "LOWER_IS_WORSE", f">= -{tolerance:.0%}"
+    return "SCALAR", f">= -{tolerance:.0%}"
+
+
 def case_key(case):
     return (case["problem"], case["variant"], case["ranks"])
 
 
 def compare_metric(where, metric, base, fresh, tolerance, deltas):
+    cls, band = metric_class(metric, tolerance)
     if metric in EXACT:
         denom = max(abs(base), 1.0)
         if abs(fresh - base) / denom > EXACT_REL:
-            deltas.append(Delta(where, metric, base, fresh, True,
+            deltas.append(Delta(where, metric, base, fresh, True, cls, band,
                                 "must match exactly"))
         return
     if base == 0 and fresh == 0:
@@ -91,7 +109,7 @@ def compare_metric(where, metric, base, fresh, tolerance, deltas):
     rel = (fresh - base) / abs(base) if base != 0 else math.inf
     if metric in LOOSE_HIGHER_IS_WORSE:
         if rel > LOOSE_HIGHER_IS_WORSE[metric]:
-            deltas.append(Delta(where, metric, base, fresh, True,
+            deltas.append(Delta(where, metric, base, fresh, True, cls, band,
                                 "host wall-clock blowup"))
         return
     if metric in HIGHER_IS_WORSE:
@@ -101,9 +119,10 @@ def compare_metric(where, metric, base, fresh, tolerance, deltas):
     else:  # scalars: all are "bigger = better improvement factors"
         regressed, improved = rel < -tolerance, rel > tolerance
     if regressed:
-        deltas.append(Delta(where, metric, base, fresh, True))
+        deltas.append(Delta(where, metric, base, fresh, True, cls, band))
     elif improved:
-        deltas.append(Delta(where, metric, base, fresh, False, "improved"))
+        deltas.append(Delta(where, metric, base, fresh, False, cls, band,
+                            "improved"))
 
 
 def compare_files(baseline_path, fresh_path, tolerance):
@@ -161,10 +180,11 @@ def compare_files(baseline_path, fresh_path, tolerance):
 
 
 def print_table(bench, deltas):
-    rows = [("case", "metric", "baseline", "fresh", "delta", "")]
+    rows = [("case", "metric", "class", "baseline", "fresh", "delta",
+             "allowed", "")]
     for d in deltas:
-        rows.append((d.where, d.metric, f"{d.base:.6g}", f"{d.fresh:.6g}",
-                     f"{d.rel():+.2%}",
+        rows.append((d.where, d.metric, d.cls, f"{d.base:.6g}",
+                     f"{d.fresh:.6g}", f"{d.rel():+.2%}", d.band,
                      ("REGRESSION" if d.worse else "ok") +
                      (f" ({d.note})" if d.note else "")))
     widths = [max(len(r[i]) for r in rows) for i in range(len(rows[0]))]

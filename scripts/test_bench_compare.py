@@ -119,6 +119,41 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(r.returncode, 1)
         self.assertIn("host_ms", r.stderr)
 
+    def test_failure_table_names_class_and_band(self):
+        # Every flagged delta must say which tolerance class judged it and
+        # the allowed band, so a red CI log is self-explanatory.
+        fresh = copy.deepcopy(BASE)
+        fresh["cases"][0]["mean_step_ps"] = 1200.0
+        r = run_compare(BASE, fresh)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("class", r.stdout)
+        self.assertIn("allowed", r.stdout)
+        self.assertIn("HIGHER_IS_WORSE", r.stdout)
+        self.assertIn("<= +5%", r.stdout)
+
+        fresh = copy.deepcopy(BASE)
+        fresh["cases"][0]["counted_flops"] = 5.1e9
+        r = run_compare(BASE, fresh)
+        self.assertIn("EXACT", r.stdout)
+        self.assertIn("1e-12", r.stdout)
+
+        fresh = copy.deepcopy(BASE)
+        fresh["cases"][0]["host_ms"] = 2600.0
+        r = run_compare(BASE, fresh)
+        self.assertIn("LOOSE_HIGHER_IS_WORSE", r.stdout)
+        self.assertIn("<= +2400%", r.stdout)
+
+        fresh = copy.deepcopy(BASE)
+        fresh["cases"][0]["gflops"] = 1.0
+        r = run_compare(BASE, fresh)
+        self.assertIn("LOWER_IS_WORSE", r.stdout)
+        self.assertIn(">= -5%", r.stdout)
+
+        fresh = copy.deepcopy(BASE)
+        fresh["scalars"]["async_improvement"] = 1.0
+        r = run_compare(BASE, fresh)
+        self.assertIn("SCALAR", r.stdout)
+
     def test_fresh_only_case_metric_noted_then_strict_fails(self):
         # The original hole: a known metric present only in the fresh case
         # was silently skipped by the baseline-driven metric loop.

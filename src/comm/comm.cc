@@ -22,6 +22,7 @@ constexpr std::size_t kIndexMask = (std::size_t{1} << kEpochShift) - 1;
 
 Network::Network(int nranks, const hw::CostModel& cost)
     : cost_(cost), mailboxes_(static_cast<std::size_t>(nranks)),
+      box_locks_(std::make_unique<std::mutex[]>(static_cast<std::size_t>(nranks))),
       link_free_(static_cast<std::size_t>(nranks), 0) {
   USW_ASSERT_MSG(nranks > 0, "network needs at least one rank");
 }
@@ -51,6 +52,7 @@ Network::Delivery Network::deliver(Message msg, int attempt) {
       result.arrival = msg.arrival;
     }
   }
+  const auto lk = lock_mailbox(msg.dst);
   mailboxes_[static_cast<std::size_t>(msg.dst)].push_back(std::move(msg));
   return result;
 }
@@ -128,7 +130,7 @@ void Comm::maybe_retransmit(Request& req) {
     req.lost = false;
     req.payload.clear();
     req.complete_stamp = injected;
-    coord_.notify(req.peer, d.arrival);
+    coord_.notify(req.peer, d.arrival, rank_);
   }
 }
 
@@ -202,7 +204,7 @@ RequestId Comm::post_send(int dst, int tag, std::uint64_t bytes,
     // injected into the network.
     req.complete_stamp = injected;
     req.payload.clear();
-    coord_.notify(dst, d.arrival);
+    coord_.notify(dst, d.arrival, rank_);
   }
 
   requests_.push_back(std::move(req));
@@ -233,6 +235,11 @@ RequestId Comm::irecv(int src, int tag) {
 }
 
 void Comm::match_visible() {
+  // Hold our mailbox lock for the whole match: under the parallel
+  // coordinator other ranks may push into it concurrently. Messages they
+  // add arrive at or after the open window's end, so whether a push lands
+  // before or after this scan cannot change what is matchable now.
+  const auto lk = net_.lock_mailbox(rank_);
   auto& box = net_.mailbox(rank_);
   if (box.empty()) return;
   const TimePs now = coord_.now(rank_);
@@ -362,6 +369,10 @@ std::uint64_t Comm::request_bytes(RequestId id) const {
 
 TimePs Comm::earliest_known_completion(std::span<const RequestId> ids) const {
   TimePs wake = sim::kNever;
+  // Lock against concurrent senders (parallel coordinator). A racing push
+  // can only shorten the wake; the barrier's pending-notify fold recovers
+  // the identical effective wake either way (see sim/coordinator.h).
+  const auto lk = net_.lock_mailbox(rank_);
   const auto& box = net_.mailbox(rank_);
   for (RequestId id : ids) {
     const Request& req = checked(id);

@@ -20,13 +20,28 @@
 //   * ghost-buffer packing time is charged separately by the scheduler via
 //     CostModel::mpe_pack, not here.
 //
-// Thread safety: the Network object is shared by all rank threads but is
-// only ever touched by the rank currently holding the Coordinator token;
-// token handoff through the Coordinator's mutex provides the necessary
-// happens-before edges. Do not access a Comm from a thread that does not
-// hold its rank's token.
+// Thread safety: the Network object is shared by all rank threads. Under
+// the serial coordinator only the token-holding rank touches it, with the
+// coordinator's mutex providing the happens-before edges. Under the
+// parallel coordinator several granted ranks run concurrently, so the two
+// genuinely shared pieces are synchronized directly: each mailbox has its
+// own mutex (senders push, the owner matches), and the global message
+// sequence counter is atomic. Everything else (request tables, link-free
+// times) is per-rank and only ever touched by its owning rank thread. A
+// Comm must still only be used from the thread running its rank.
+//
+// Determinism under concurrent sends: seq values are assigned in host
+// order, so two ranks sending in the same window may get their seqs in
+// either order between runs. That is invisible to results — MPI matching
+// only orders messages WITHIN a (src, tag) class, and a single sender's
+// seqs are still monotone (program order) — but it does mean flight-ring
+// seq values are host-dependent in parallel mode. Fault plans hash the
+// seq, which is why message faults force the serial coordinator.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
@@ -102,12 +117,24 @@ class Network {
   /// retransmission. kDelayed messages are enqueued at the later arrival.
   Delivery deliver(Message msg, int attempt = 1);
 
+  /// Unsynchronized mailbox access — for single-threaded contexts only
+  /// (post-run lint sweeps, tests). Concurrent contexts must hold
+  /// lock_mailbox(rank) for the whole access.
   std::vector<Message>& mailbox(int rank) { return mailboxes_[static_cast<std::size_t>(rank)]; }
   const std::vector<Message>& mailbox(int rank) const {
     return mailboxes_[static_cast<std::size_t>(rank)];
   }
 
-  std::uint64_t next_seq() { return seq_++; }
+  /// Locks `rank`'s mailbox (senders push into it; the owner matches from
+  /// it — under the parallel coordinator those overlap in host time).
+  std::unique_lock<std::mutex> lock_mailbox(int rank) const {
+    return std::unique_lock<std::mutex>(
+        box_locks_[static_cast<std::size_t>(rank)]);
+  }
+
+  std::uint64_t next_seq() {
+    return seq_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Reserves `src`'s injection link from `post_time` for `bytes`; returns
   /// the time the last byte leaves the NIC.
@@ -118,8 +145,10 @@ class Network {
   const fault::FaultPlan* fault_ = nullptr;
   schedpt::ScheduleController* schedule_ = nullptr;
   std::vector<std::vector<Message>> mailboxes_;
+  /// One mutex per mailbox (unique_ptr array: std::mutex is immovable).
+  std::unique_ptr<std::mutex[]> box_locks_;
   std::vector<TimePs> link_free_;  ///< per-rank NIC free time
-  std::uint64_t seq_ = 0;
+  std::atomic<std::uint64_t> seq_{0};
 };
 
 /// Per-rank endpoint.

@@ -9,8 +9,77 @@
 
 namespace usw::sim {
 
-Coordinator::Coordinator(int nranks) : ranks_(static_cast<std::size_t>(nranks)) {
+namespace {
+
+/// Serial grant order: nondecreasing (eligibility, rank id) — the token
+/// always goes to the minimum clock/wake, ties to the lowest rank.
+bool grant_order_less(TimePs ta, int ra, TimePs tb, int rb) {
+  return ta != tb ? ta < tb : ra < rb;
+}
+
+/// Atomic maximum: raises `target` to `value` if larger.
+void atomic_max(std::atomic<TimePs>& target, TimePs value) {
+  TimePs cur = target.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+int default_grant_cap() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 4 : static_cast<int>(hc);
+}
+
+}  // namespace
+
+CoordinatorSpec CoordinatorSpec::parse(const std::string& text) {
+  CoordinatorSpec spec;
+  if (text.empty() || text == "serial") return spec;
+  const std::string kPrefix = "parallel";
+  if (text.compare(0, kPrefix.size(), kPrefix) != 0)
+    throw ConfigError("unknown coordinator '" + text +
+                      "' (serial|parallel[:threads=N])");
+  spec.mode = CoordinatorMode::kParallel;
+  if (text.size() == kPrefix.size()) return spec;
+  const std::string rest = text.substr(kPrefix.size());
+  const std::string kThreads = ":threads=";
+  if (rest.compare(0, kThreads.size(), kThreads) != 0)
+    throw ConfigError("unknown coordinator option '" + text +
+                      "' (serial|parallel[:threads=N])");
+  const std::string num = rest.substr(kThreads.size());
+  std::size_t used = 0;
+  int n = 0;
+  try {
+    n = std::stoi(num, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != num.size() || num.empty() || n < 1)
+    throw ConfigError("coordinator threads must be a positive integer, got '" +
+                      num + "'");
+  spec.max_concurrent = n;
+  return spec;
+}
+
+std::string CoordinatorSpec::describe() const {
+  if (!parallel()) return "serial";
+  if (max_concurrent <= 0) return "parallel";
+  return "parallel:threads=" + std::to_string(max_concurrent);
+}
+
+Coordinator::Coordinator(int nranks)
+    : Coordinator(nranks, CoordinatorSpec{}, 0) {}
+
+Coordinator::Coordinator(int nranks, const CoordinatorSpec& spec, TimePs window)
+    : ranks_(static_cast<std::size_t>(nranks)) {
   USW_ASSERT_MSG(nranks > 0, "coordinator needs at least one rank");
+  USW_ASSERT_MSG(window >= 0, "negative coordinator window");
+  // A zero window would grant only the minimum rank anyway; take the
+  // cheaper serial path outright. Single-rank runs have nothing to overlap.
+  par_ = spec.parallel() && window > 0 && nranks > 1;
+  window_ = window;
+  max_concurrent_ = spec.max_concurrent > 0 ? spec.max_concurrent
+                                            : default_grant_cap();
 }
 
 void Coordinator::start(int rank) {
@@ -18,41 +87,81 @@ void Coordinator::start(int rank) {
   RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
   USW_ASSERT_MSG(slot.state == State::kUnstarted, "rank started twice");
   slot.state = State::kReady;
-  slot.clock = 0;
-  if (running_ < 0) pick_next_locked();
+  slot.clock.store(0, std::memory_order_relaxed);
+  ++started_;
+  if (par_) {
+    // Hold everyone at the starting line until every rank thread has
+    // registered, then open the first window.
+    if (started_ == size()) open_window_locked();
+  } else {
+    if (running_ < 0) pick_next_locked();
+  }
   block_until_running_locked(lk, rank);
 }
 
 void Coordinator::finish(int rank) {
   std::unique_lock<std::mutex> lk(lock_);
   RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
-  USW_ASSERT_MSG(slot.state == State::kRunning || cancelled_,
-                 "finish requires the token");
+  USW_ASSERT_MSG(slot.state == State::kRunning ||
+                     cancelled_.load(std::memory_order_relaxed),
+                 "finish requires the grant");
+  const bool was_running = slot.state == State::kRunning;
   slot.state = State::kFinished;
-  if (running_ == rank) {
-    running_ = -1;
-    pick_next_locked();
+  if (par_) {
+    if (was_running && !cancelled_.load(std::memory_order_relaxed))
+      release_locked();
+  } else {
+    if (running_ == rank) {
+      running_ = -1;
+      pick_next_locked();
+    }
   }
 }
 
 TimePs Coordinator::now(int rank) const {
-  std::lock_guard<std::mutex> lk(lock_);
-  return ranks_.at(static_cast<std::size_t>(rank)).clock;
+  // The clock is atomic, so no lock: the owner reads its own writes, and
+  // any cross-thread reader (diagnostics) tolerates a stale value.
+  return ranks_.at(static_cast<std::size_t>(rank))
+      .clock.load(std::memory_order_relaxed);
 }
 
 void Coordinator::advance(int rank, TimePs dt) {
   USW_ASSERT_MSG(dt >= 0, "cannot advance virtual time backwards");
-  std::lock_guard<std::mutex> lk(lock_);
   RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
-  USW_ASSERT_MSG(slot.state == State::kRunning, "advance requires the token");
-  slot.clock += dt;
+  if (par_) {
+    // Lock-free: only the owning (granted) rank thread mutates its clock.
+    slot.clock.fetch_add(dt, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lk(lock_);
+  USW_ASSERT_MSG(slot.state == State::kRunning, "advance requires the grant");
+  slot.clock.store(slot.clock.load(std::memory_order_relaxed) + dt,
+                   std::memory_order_relaxed);
 }
 
 void Coordinator::gate(int rank) {
+  if (par_) {
+    RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+    if (!cancelled_.load(std::memory_order_relaxed)) {
+      const TimePs t = slot.clock.load(std::memory_order_relaxed);
+      // Still strictly inside the window: every message that could be
+      // matchable at t was already enqueued when the window opened (sends
+      // from concurrently-running ranks arrive at or after the window
+      // end), so observing shared state now is exactly as safe as holding
+      // the serial token. Serial would park kReady here and be re-granted
+      // at the same clock — a segment boundary, nothing more.
+      if (t < window_end_.load(std::memory_order_relaxed) && !would_stall(t)) {
+        slot.seg_start = t;
+        return;
+      }
+    }
+    park_and_block(rank, State::kReady, kNever);
+    return;
+  }
   std::unique_lock<std::mutex> lk(lock_);
-  if (cancelled_) throw Cancelled(cancel_reason_);
+  if (cancelled_.load(std::memory_order_relaxed)) throw Cancelled(cancel_reason_);
   RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
-  USW_ASSERT_MSG(slot.state == State::kRunning, "gate requires the token");
+  USW_ASSERT_MSG(slot.state == State::kRunning, "gate requires the grant");
   slot.state = State::kReady;
   running_ = -1;
   pick_next_locked();
@@ -60,11 +169,44 @@ void Coordinator::gate(int rank) {
 }
 
 void Coordinator::wait_until(int rank, TimePs wake) {
+  if (par_) {
+    RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+    if (!cancelled_.load(std::memory_order_relaxed)) {
+      const TimePs t = slot.clock.load(std::memory_order_relaxed);
+      if (wake != kNever && wake <= t) return;  // already past the event:
+                                                // serial never parks, so no
+                                                // segment boundary either
+      // Serial would park kWaiting here; pending notify records may lower
+      // the wake (never below the clock). Resolve them first.
+      const TimePs w = resolve_notifies(rank, slot, t, wake, true);
+      if (w <= t) {
+        // A recorded arrival (from a sender granted after this rank's
+        // segment) fires the wait at the current clock, exactly as the
+        // serial wake-up at max(stamp, clock) would.
+        slot.seg_start = t;
+        return;
+      }
+      // An effective wake strictly inside the window cannot be preempted
+      // by any further notify: in-window sends arrive at or after the
+      // window end, and every earlier record was resolved above. Jump.
+      if (w != kNever && w < window_end_.load(std::memory_order_relaxed) &&
+          !would_stall(w)) {
+        slot.clock.store(w, std::memory_order_relaxed);
+        slot.seg_start = w;
+        return;
+      }
+      park_and_block(rank, State::kWaiting, w);
+      return;
+    }
+    park_and_block(rank, State::kWaiting, wake);
+    return;
+  }
   std::unique_lock<std::mutex> lk(lock_);
-  if (cancelled_) throw Cancelled(cancel_reason_);
+  if (cancelled_.load(std::memory_order_relaxed)) throw Cancelled(cancel_reason_);
   RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
-  USW_ASSERT_MSG(slot.state == State::kRunning, "wait_until requires the token");
-  if (wake != kNever && wake <= slot.clock) return;  // already past the event
+  USW_ASSERT_MSG(slot.state == State::kRunning, "wait_until requires the grant");
+  if (wake != kNever && wake <= slot.clock.load(std::memory_order_relaxed))
+    return;  // already past the event
   slot.state = State::kWaiting;
   slot.wake = wake;
   running_ = -1;
@@ -72,12 +214,66 @@ void Coordinator::wait_until(int rank, TimePs wake) {
   block_until_running_locked(lk, rank);
 }
 
-void Coordinator::notify(int rank, TimePs stamp) {
-  std::lock_guard<std::mutex> lk(lock_);
+void Coordinator::notify(int rank, TimePs stamp, int src) {
   RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+  if (par_) {
+    // Recorded, not applied: whether serial would deliver or drop this
+    // notification depends on where the send sits in the serial grant
+    // order — its position is (sender's segment start, sender id). The
+    // target resolves the record itself (resolve_notifies) at its next
+    // wait or at the window barrier, whichever the serial rule demands.
+    USW_ASSERT_MSG(src >= 0 && src < size(),
+                   "parallel notify requires the posting rank");
+    const TimePs seg = ranks_.at(static_cast<std::size_t>(src)).seg_start;
+    {
+      std::lock_guard<std::mutex> lk(slot.notify_mu);
+      slot.pending.push_back(NotifyRec{seg, src, stamp});
+    }
+    slot.has_notify.store(true, std::memory_order_release);
+    return;
+  }
+  std::lock_guard<std::mutex> lk(lock_);
   if (slot.state != State::kWaiting) return;  // will observe it when it polls
-  const TimePs effective = std::max(stamp, slot.clock);
+  const TimePs effective =
+      std::max(stamp, slot.clock.load(std::memory_order_relaxed));
   slot.wake = std::min(slot.wake, effective);
+}
+
+TimePs Coordinator::resolve_notifies(int rank, RankSlot& slot, TimePs park_clock,
+                                     TimePs wake, bool waiting) {
+  if (slot.has_notify.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lk(slot.notify_mu);
+    slot.retained.insert(slot.retained.end(), slot.pending.begin(),
+                         slot.pending.end());
+    slot.pending.clear();
+    slot.has_notify.store(false, std::memory_order_relaxed);
+  }
+  if (slot.retained.empty()) return wake;
+  std::sort(slot.retained.begin(), slot.retained.end(),
+            [](const NotifyRec& a, const NotifyRec& b) {
+              return grant_order_less(a.seg, a.src, b.seg, b.src);
+            });
+  // For a wait park, records from before this rank's current segment fell
+  // in an earlier interval: either serial already dropped them (the rank
+  // was running or gate-parked) or they were applied/no-ops at an earlier
+  // wait — see the header comment. For a gate park the re-grant happens at
+  // park_clock, so everything up to that position is dropped too.
+  const TimePs drop_bound = waiting ? slot.seg_start : park_clock;
+  TimePs w = wake;
+  std::vector<NotifyRec> keep;
+  for (const NotifyRec& rec : slot.retained) {
+    if (grant_order_less(rec.seg, rec.src, drop_bound, rank)) continue;
+    if (waiting && grant_order_less(rec.seg, rec.src, w, rank)) {
+      // Serial: the target is kWaiting when this send posts; the wake is
+      // lowered to the arrival, but never below the parked clock.
+      w = std::min(w, std::max(rec.stamp, park_clock));
+    } else {
+      keep.push_back(rec);  // serial posts this after the wake-up: it
+                            // belongs to a later wait of this rank
+    }
+  }
+  slot.retained.swap(keep);
+  return w;
 }
 
 void Coordinator::cancel(const std::string& why) {
@@ -86,8 +282,7 @@ void Coordinator::cancel(const std::string& why) {
 }
 
 bool Coordinator::cancelled() const {
-  std::lock_guard<std::mutex> lk(lock_);
-  return cancelled_;
+  return cancelled_.load(std::memory_order_acquire);
 }
 
 std::string Coordinator::cancel_reason() const {
@@ -98,22 +293,28 @@ std::string Coordinator::cancel_reason() const {
 void Coordinator::set_diag(DiagSink* diag, TimePs stall_threshold) {
   USW_ASSERT_MSG(stall_threshold >= 0, "negative stall threshold");
   std::lock_guard<std::mutex> lk(lock_);
+  USW_ASSERT_MSG(started_ == 0 && running_ < 0, "set_diag after ranks started");
   diag_ = diag;
   stall_threshold_ = stall_threshold;
 }
 
 void Coordinator::heartbeat(int rank) {
+  RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+  if (par_) {
+    atomic_max(progress_mark_, slot.clock.load(std::memory_order_relaxed));
+    return;
+  }
   std::lock_guard<std::mutex> lk(lock_);
-  const RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
-  USW_ASSERT_MSG(slot.state == State::kRunning || cancelled_,
-                 "heartbeat requires the token");
-  progress_mark_ = std::max(progress_mark_, slot.clock);
+  USW_ASSERT_MSG(slot.state == State::kRunning ||
+                     cancelled_.load(std::memory_order_relaxed),
+                 "heartbeat requires the grant");
+  atomic_max(progress_mark_, slot.clock.load(std::memory_order_relaxed));
 }
 
 void Coordinator::crash_locked(const std::string& why) {
-  if (cancelled_) return;
-  cancelled_ = true;
+  if (cancelled_.load(std::memory_order_relaxed)) return;
   cancel_reason_ = why;
+  cancelled_.store(true, std::memory_order_release);
   running_ = -1;
   // Snapshot + dump BEFORE waking anyone: parked ranks cannot unwind (and
   // destroy the state diagnostic providers point at) until the cv fires.
@@ -130,7 +331,8 @@ void Coordinator::crash_locked(const std::string& why) {
         case State::kWaiting: st = 'w'; break;
         case State::kFinished: st = 'f'; break;
       }
-      status.push_back(RankStatus{r, st, slot.clock, slot.wake});
+      status.push_back(RankStatus{r, st, slot.clock.load(std::memory_order_relaxed),
+                                  slot.wake});
     }
     diag_->on_crash(why, status);
   }
@@ -141,71 +343,91 @@ void Coordinator::set_schedule(schedpt::ScheduleController* schedule,
                                TimePs lookahead) {
   USW_ASSERT_MSG(lookahead >= 0, "negative lookahead");
   std::lock_guard<std::mutex> lk(lock_);
+  USW_ASSERT_MSG(started_ == 0 && running_ < 0,
+                 "set_schedule after ranks started");
   schedule_ = schedule;
   lookahead_ = lookahead;
+  // Fuzz/record/replay decisions form one globally ordered log; only a
+  // total order over grants reproduces it. Degenerate to serial granting.
+  if (schedule != nullptr) par_ = false;
 }
 
-void Coordinator::pick_next_locked() {
-  USW_ASSERT(running_ < 0);
-  if (cancelled_) return;
-  // Hold everyone at the starting line until every rank thread has
-  // registered; otherwise an early rank could race ahead of a rank that is
-  // still at virtual time zero, breaking the min-clock invariant.
-  for (const RankSlot& slot : ranks_)
-    if (slot.state == State::kUnstarted) return;
-  int best = -1;
-  TimePs best_time = kNever;
-  bool any_unfinished = false;
+Coordinator::MinScan Coordinator::min_eligibility_locked() const {
+  MinScan scan;
   for (int r = 0; r < size(); ++r) {
     const RankSlot& slot = ranks_[static_cast<std::size_t>(r)];
     switch (slot.state) {
       case State::kReady:
-        any_unfinished = true;
-        if (slot.clock < best_time) {
-          best = r;
-          best_time = slot.clock;
+        scan.any_unfinished = true;
+        if (slot.clock.load(std::memory_order_relaxed) < scan.best_time) {
+          scan.best = r;
+          scan.best_time = slot.clock.load(std::memory_order_relaxed);
         }
         break;
       case State::kWaiting:
-        any_unfinished = true;
-        if (slot.wake != kNever && slot.wake < best_time) {
-          best = r;
-          best_time = slot.wake;
+        scan.any_unfinished = true;
+        if (slot.wake != kNever && slot.wake < scan.best_time) {
+          scan.best = r;
+          scan.best_time = slot.wake;
         }
         break;
       case State::kUnstarted:
       case State::kRunning:
-        USW_ASSERT_MSG(false, "pick_next with a running or unstarted rank");
+        USW_ASSERT_MSG(false, "eligibility scan with a running or unstarted rank");
         break;
       case State::kFinished:
         break;
     }
   }
-  if (best < 0) {
-    if (!any_unfinished) return;  // everyone done
-    // Every unfinished rank is waiting on kNever: no event can ever fire.
-    std::ostringstream os;
-    os << "virtual-time deadlock:";
-    for (int r = 0; r < size(); ++r) {
-      const RankSlot& slot = ranks_[static_cast<std::size_t>(r)];
-      if (slot.state == State::kWaiting)
-        os << " rank " << r << " waiting at t=" << slot.clock;
-    }
-    crash_locked(os.str());
-    return;
+  return scan;
+}
+
+std::string Coordinator::deadlock_message_locked() const {
+  // Every unfinished rank is waiting on kNever: no event can ever fire.
+  std::ostringstream os;
+  os << "virtual-time deadlock:";
+  for (int r = 0; r < size(); ++r) {
+    const RankSlot& slot = ranks_[static_cast<std::size_t>(r)];
+    if (slot.state == State::kWaiting)
+      os << " rank " << r
+         << " waiting at t=" << slot.clock.load(std::memory_order_relaxed);
   }
-  // Hang watchdog: granting the token at best_time would mean no timestep
-  // has completed for more than stall_threshold_ of virtual time — some
-  // rank is spinning/retrying without making application progress.
-  if (diag_ != nullptr && stall_threshold_ > 0 &&
-      best_time != kNever && best_time - progress_mark_ > stall_threshold_) {
+  return os.str();
+}
+
+bool Coordinator::watchdog_trips_locked(int best, TimePs best_time) {
+  // Hang watchdog: granting at best_time would mean no timestep has
+  // completed for more than stall_threshold_ of virtual time — some rank
+  // is spinning/retrying without making application progress.
+  const TimePs mark = progress_mark_.load(std::memory_order_relaxed);
+  if (diag_ != nullptr && stall_threshold_ > 0 && best_time != kNever &&
+      best_time - mark > stall_threshold_) {
     std::ostringstream os;
-    os << "hang watchdog: no step completed between t=" << progress_mark_
+    os << "hang watchdog: no step completed between t=" << mark
        << " and t=" << best_time << " ps (threshold " << stall_threshold_
        << " ps); stalled at rank " << best;
     crash_locked(os.str());
+    return true;
+  }
+  return false;
+}
+
+void Coordinator::pick_next_locked() {
+  USW_ASSERT(running_ < 0);
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  // Hold everyone at the starting line until every rank thread has
+  // registered; otherwise an early rank could race ahead of a rank that is
+  // still at virtual time zero, breaking the min-clock invariant.
+  for (const RankSlot& slot : ranks_)
+    if (slot.state == State::kUnstarted) return;
+  const MinScan scan = min_eligibility_locked();
+  int best = scan.best;
+  if (best < 0) {
+    if (!scan.any_unfinished) return;  // everyone done
+    crash_locked(deadlock_message_locked());
     return;
   }
+  if (watchdog_trips_locked(best, scan.best_time)) return;
   int n_candidates = 1;
   if (schedule_ != nullptr) {
     // Schedule point: any rank whose effective time is STRICTLY inside
@@ -218,10 +440,11 @@ void Coordinator::pick_next_locked() {
       if (r == best) continue;
       const RankSlot& slot = ranks_[static_cast<std::size_t>(r)];
       TimePs eff = kNever;
-      if (slot.state == State::kReady) eff = slot.clock;
+      if (slot.state == State::kReady)
+        eff = slot.clock.load(std::memory_order_relaxed);
       else if (slot.state == State::kWaiting && slot.wake != kNever)
         eff = slot.wake;
-      if (eff != kNever && eff - best_time < lookahead_)
+      if (eff != kNever && eff - scan.best_time < lookahead_)
         candidates.push_back(r);
     }
     n_candidates = static_cast<int>(candidates.size());
@@ -231,21 +454,144 @@ void Coordinator::pick_next_locked() {
   }
   RankSlot& chosen = ranks_[static_cast<std::size_t>(best)];
   if (chosen.state == State::kWaiting) {
-    chosen.clock = std::max(chosen.clock, chosen.wake);
+    chosen.clock.store(
+        std::max(chosen.clock.load(std::memory_order_relaxed), chosen.wake),
+        std::memory_order_relaxed);
     chosen.wake = kNever;
   }
   chosen.state = State::kRunning;
   running_ = best;
-  if (diag_ != nullptr) diag_->on_rank_pick(best, n_candidates, chosen.clock);
+  if (diag_ != nullptr)
+    diag_->on_rank_pick(best, n_candidates,
+                        chosen.clock.load(std::memory_order_relaxed));
   chosen.cv.notify_all();
+}
+
+void Coordinator::open_window_locked() {
+  USW_ASSERT(active_ == 0);
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  grant_queue_.clear();
+  grant_next_ = 0;
+  // Resolve the notify records posted since the last barrier. Every rank
+  // is parked, so the serial grant-order rule (resolve_notifies) can be
+  // applied authoritatively: waiters may have their wake lowered, gate
+  // parks drop everything up to their re-grant, and records positioned
+  // after a rank's wake stay retained for its next wait.
+  for (int r = 0; r < size(); ++r) {
+    RankSlot& slot = ranks_[static_cast<std::size_t>(r)];
+    switch (slot.state) {
+      case State::kWaiting:
+        slot.wake = resolve_notifies(
+            r, slot, slot.clock.load(std::memory_order_relaxed), slot.wake,
+            true);
+        break;
+      case State::kReady:
+        resolve_notifies(r, slot,
+                         slot.clock.load(std::memory_order_relaxed), kNever,
+                         false);
+        break;
+      case State::kFinished:
+        // Serial drops notifies to finished ranks.
+        if (slot.has_notify.load(std::memory_order_acquire)) {
+          std::lock_guard<std::mutex> nlk(slot.notify_mu);
+          slot.pending.clear();
+          slot.has_notify.store(false, std::memory_order_relaxed);
+        }
+        slot.retained.clear();
+        break;
+      case State::kUnstarted:
+      case State::kRunning:
+        break;
+    }
+  }
+  const MinScan scan = min_eligibility_locked();
+  if (scan.best < 0) {
+    if (!scan.any_unfinished) return;  // everyone done
+    crash_locked(deadlock_message_locked());
+    return;
+  }
+  if (watchdog_trips_locked(scan.best, scan.best_time)) return;
+  // Window [best_time, best_time + window_): strictness keeps it causal
+  // (a message sent at S >= best_time arrives at S + window_ >= the window
+  // end, so no in-window rank can observe another's sends).
+  const TimePs end = scan.best_time > kNever - window_
+                         ? kNever
+                         : scan.best_time + window_;
+  window_end_.store(end, std::memory_order_relaxed);
+  struct Grant {
+    TimePs time;
+    int rank;
+  };
+  std::vector<Grant> grants;
+  for (int r = 0; r < size(); ++r) {
+    const RankSlot& slot = ranks_[static_cast<std::size_t>(r)];
+    TimePs eff = kNever;
+    if (slot.state == State::kReady)
+      eff = slot.clock.load(std::memory_order_relaxed);
+    else if (slot.state == State::kWaiting && slot.wake != kNever)
+      eff = slot.wake;
+    if (eff != kNever && (r == scan.best || eff - scan.best_time < window_))
+      grants.push_back(Grant{eff, r});
+  }
+  // Grant in serial order (time, then rank id) so the diagnostic pick ring
+  // and the capped rollout follow the same sequence the token would.
+  std::sort(grants.begin(), grants.end(), [](const Grant& a, const Grant& b) {
+    return a.time != b.time ? a.time < b.time : a.rank < b.rank;
+  });
+  grant_queue_.reserve(grants.size());
+  for (const Grant& g : grants) grant_queue_.push_back(g.rank);
+  while (grant_next_ < grant_queue_.size() && active_ < max_concurrent_)
+    grant_locked(grant_queue_[grant_next_++]);
+}
+
+void Coordinator::grant_locked(int rank) {
+  RankSlot& slot = ranks_[static_cast<std::size_t>(rank)];
+  USW_ASSERT_MSG(slot.state == State::kReady || slot.state == State::kWaiting,
+                 "granting a rank that is not parked");
+  if (slot.state == State::kWaiting) {
+    slot.clock.store(
+        std::max(slot.clock.load(std::memory_order_relaxed), slot.wake),
+        std::memory_order_relaxed);
+    slot.wake = kNever;
+  }
+  // The grant starts a new serial segment at the rank's (possibly raised)
+  // clock — the eligibility the serial token would have granted at.
+  slot.seg_start = slot.clock.load(std::memory_order_relaxed);
+  slot.state = State::kRunning;
+  ++active_;
+  if (diag_ != nullptr)
+    diag_->on_rank_pick(rank, 1, slot.clock.load(std::memory_order_relaxed));
+  slot.cv.notify_all();
+}
+
+void Coordinator::release_locked() {
+  USW_ASSERT(active_ > 0);
+  --active_;
+  if (grant_next_ < grant_queue_.size()) {
+    grant_locked(grant_queue_[grant_next_++]);
+  } else if (active_ == 0) {
+    open_window_locked();
+  }
+}
+
+void Coordinator::park_and_block(int rank, State state, TimePs wake) {
+  std::unique_lock<std::mutex> lk(lock_);
+  if (cancelled_.load(std::memory_order_relaxed)) throw Cancelled(cancel_reason_);
+  RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
+  USW_ASSERT_MSG(slot.state == State::kRunning, "parking a rank without a grant");
+  slot.state = state;
+  slot.wake = wake;
+  release_locked();
+  block_until_running_locked(lk, rank);
 }
 
 void Coordinator::block_until_running_locked(std::unique_lock<std::mutex>& lk, int rank) {
   RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
   slot.cv.wait(lk, [this, &slot] {
-    return cancelled_ || slot.state == State::kRunning;
+    return cancelled_.load(std::memory_order_relaxed) ||
+           slot.state == State::kRunning;
   });
-  if (cancelled_) throw Cancelled(cancel_reason_);
+  if (cancelled_.load(std::memory_order_relaxed)) throw Cancelled(cancel_reason_);
 }
 
 void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body) {
@@ -254,8 +600,9 @@ void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body) {
 
 void run_ranks(int nranks, const std::function<void(Coordinator&, int)>& body,
                schedpt::ScheduleController* schedule, TimePs lookahead,
-               DiagSink* diag, TimePs stall_threshold) {
-  Coordinator coord(nranks);
+               DiagSink* diag, TimePs stall_threshold,
+               const CoordinatorSpec& coord_spec) {
+  Coordinator coord(nranks, coord_spec, lookahead);
   if (schedule != nullptr) coord.set_schedule(schedule, lookahead);
   if (diag != nullptr) coord.set_diag(diag, stall_threshold);
   std::vector<std::thread> threads;
