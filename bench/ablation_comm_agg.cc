@@ -1,0 +1,207 @@
+// Ablation: message aggregation / eager-rendezvous protocol split
+// (src/comm, --comm-agg).
+//
+// Runs the same small problem under a sweep of flush policies — buffers
+// sized from "flush almost immediately" to "pack everything", plus forced
+// all-rendezvous and never-rendezvous thresholds — and reports what each
+// policy does to emulated MPI posts, wire bytes saved, and the virtual
+// step wall. A second table drives the default policy through all three
+// applications (burgers, heat with a mid-step exchange, advect) to show
+// the layer is app-agnostic.
+//
+// Every number is deterministic. Two invariants are asserted outright and
+// double as the regression contract:
+//   - the logical message stream is aggregation-invariant (msgs_total and
+//     counted flops identical across every policy), and
+//   - any coalescing policy strictly reduces MPI posts vs off.
+//
+// Emits BENCH_ablation_comm_agg.json for the CI regression gate.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/advect/advect_app.h"
+#include "apps/burgers/burgers_app.h"
+#include "apps/heat/heat_app.h"
+#include "comm/agg.h"
+#include "json_report.h"
+#include "runtime/controller.h"
+#include "support/table.h"
+
+namespace {
+
+using namespace usw;
+
+struct Measurement {
+  TimePs mean_step = 0;
+  hw::PerfCounters counters;
+  bench::CaseResult result;
+};
+
+runtime::RunConfig base_config() {
+  runtime::RunConfig cfg;
+  // 2x2x2 patches of 16^3 on 4 ranks: two patches per rank, so each halo
+  // burst has same-destination messages to pack (faces are 16x16 doubles,
+  // ~2 KB — eager territory under the default rendezvous threshold).
+  cfg.problem = runtime::tiny_problem({2, 2, 2}, {16, 16, 16});
+  cfg.variant = runtime::variant_by_name("acc.async");
+  cfg.nranks = 4;
+  cfg.timesteps = 4;
+  cfg.storage = var::StorageMode::kTimingOnly;
+  cfg.collect_metrics = true;
+  return cfg;
+}
+
+Measurement run_case(runtime::RunConfig cfg, const runtime::Application& app,
+                     const std::string& name, const std::string& agg_spec) {
+  cfg.problem.name = name;
+  cfg.comm_agg = comm::AggSpec::parse(agg_spec);
+  const runtime::RunResult r = runtime::run_simulation(cfg, app);
+
+  Measurement out;
+  out.mean_step = r.mean_step_wall();
+  out.counters = r.merged_counters();
+  out.result.mean_step = out.mean_step;
+  out.result.gflops = r.achieved_gflops();
+  out.result.counted_flops = r.total_counted_flops();
+  out.result.msgs_total = static_cast<double>(out.counters.messages_sent);
+  out.result.mpi_post_count = static_cast<double>(out.counters.mpi_posts);
+  std::cerr << "  [comm-agg] " << name << ": "
+            << format_duration(out.mean_step) << "/step, posts "
+            << out.counters.mpi_posts << ", packed "
+            << out.counters.agg_msgs_packed << "\n";
+  return out;
+}
+
+std::string row_name(const std::string& app, const std::string& spec) {
+  return app + (spec == "off" ? "" : "+" + spec);
+}
+
+}  // namespace
+
+int main() {
+  // Flush-policy sweep. count=1 forces a flush after every append (the
+  // degenerate "aggregation tax without coalescing" corner); rdv=1k pushes
+  // the ~2 KB face messages over the rendezvous threshold (no coalescing,
+  // handshake cost instead); rdv=64m keeps everything eager.
+  const std::vector<std::string> policies = {
+      "off",
+      "size=1k,count=1",
+      "size=8k,count=8",
+      "size=16k,count=64",  // the --comm-agg=on default
+      "size=64k,count=256,rdv=64m",
+      "size=16k,count=64,rdv=1k",
+  };
+
+  bench::JsonReport json("ablation_comm_agg");
+  bool failed = false;
+
+  const runtime::RunConfig cfg = base_config();
+  apps::burgers::BurgersApp burgers;
+
+  TextTable policy_table(
+      "Ablation: comm aggregation flush policy (burgers, 4 CGs, acc.async)");
+  policy_table.set_header({"policy", "step wall", "vs off", "posts", "packed",
+                           "flushes", "bytes saved", "rendezvous"});
+  Measurement off;
+  for (const std::string& spec : policies) {
+    const Measurement m = run_case(cfg, burgers, row_name("burgers", spec), spec);
+    if (spec == "off") off = m;
+    json.add(bench::CaseKey{row_name("burgers", spec), "acc.async", 4},
+             m.result);
+
+    // Invariant: aggregation never changes the logical message stream.
+    if (m.result.msgs_total != off.result.msgs_total ||
+        m.result.counted_flops != off.result.counted_flops) {
+      std::fprintf(stderr,
+                   "ERROR: policy '%s' changed the logical stream: "
+                   "msgs %.0f vs %.0f, flops %.0f vs %.0f\n",
+                   spec.c_str(), m.result.msgs_total, off.result.msgs_total,
+                   m.result.counted_flops, off.result.counted_flops);
+      failed = true;
+    }
+    // Invariant: every coalescing policy (count > 1, eager traffic)
+    // strictly reduces posts. The count=1 and all-rendezvous corners are
+    // exempt — they exist to price the overheads, not to win.
+    const bool coalesces = spec != "off" && spec != "size=1k,count=1" &&
+                           spec != "size=16k,count=64,rdv=1k";
+    if (coalesces && m.result.mpi_post_count >= off.result.mpi_post_count) {
+      std::fprintf(stderr,
+                   "ERROR: policy '%s' did not reduce MPI posts: %.0f vs "
+                   "%.0f\n",
+                   spec.c_str(), m.result.mpi_post_count,
+                   off.result.mpi_post_count);
+      failed = true;
+    }
+
+    policy_table.add_row(
+        {spec, format_duration(m.mean_step),
+         TextTable::num(static_cast<double>(m.mean_step) /
+                            static_cast<double>(off.mean_step), 3) + "x",
+         std::to_string(m.counters.mpi_posts),
+         std::to_string(m.counters.agg_msgs_packed),
+         std::to_string(m.counters.agg_flushes),
+         std::to_string(m.counters.agg_bytes_saved),
+         std::to_string(m.counters.msgs_rendezvous)});
+    if (spec != "off") {
+      json.add_scalar("step_ratio_" + spec,
+                      static_cast<double>(m.mean_step) /
+                          static_cast<double>(off.mean_step));
+      json.add_scalar("posts_saved_" + spec,
+                      off.result.mpi_post_count - m.result.mpi_post_count);
+    }
+  }
+  policy_table.print(std::cout);
+
+  // The default policy across all three applications. Heat runs its
+  // two-stage variant so the mid-step halo exchange (new-DW ghosts) goes
+  // through the aggregation path too.
+  apps::heat::HeatApp::Config heat_cfg;
+  heat_cfg.stages = 2;
+  apps::heat::HeatApp heat(heat_cfg);
+  apps::advect::AdvectApp advect;
+  struct AppCase {
+    std::string name;
+    const runtime::Application* app;
+  };
+  const std::vector<AppCase> app_cases = {
+      {"burgers", &burgers}, {"heat3d", &heat}, {"advect3d", &advect}};
+
+  TextTable app_table("Default policy (size=16k,count=64) across apps");
+  app_table.set_header(
+      {"app", "step off", "step agg", "posts off", "posts agg", "packed"});
+  for (const AppCase& ac : app_cases) {
+    const Measurement m_off = run_case(cfg, *ac.app, ac.name + ".off", "off");
+    const Measurement m_on = run_case(cfg, *ac.app, ac.name + ".agg", "on");
+    json.add(bench::CaseKey{ac.name + ".off", "acc.async", 4}, m_off.result);
+    json.add(bench::CaseKey{ac.name + ".agg", "acc.async", 4}, m_on.result);
+    if (m_on.result.msgs_total != m_off.result.msgs_total ||
+        m_on.result.counted_flops != m_off.result.counted_flops ||
+        m_on.result.mpi_post_count >= m_off.result.mpi_post_count) {
+      std::fprintf(stderr, "ERROR: default policy contract failed for %s\n",
+                   ac.name.c_str());
+      failed = true;
+    }
+    json.add_scalar("posts_saved_" + ac.name,
+                    m_off.result.mpi_post_count - m_on.result.mpi_post_count);
+    app_table.add_row({ac.name, format_duration(m_off.mean_step),
+                       format_duration(m_on.mean_step),
+                       std::to_string(m_off.counters.mpi_posts),
+                       std::to_string(m_on.counters.mpi_posts),
+                       std::to_string(m_on.counters.agg_msgs_packed)});
+  }
+  app_table.print(std::cout);
+
+  const std::string path = json.write();
+  if (!path.empty()) std::cout << "\nwrote " << path << "\n";
+
+  std::cout << "\nCoalescing trades one 6 us MPI post per message for a\n"
+               "500 ns append plus a shared post at flush; the count=1 row\n"
+               "prices the pure tax, the rdv=1k row prices the handshake\n"
+               "when everything goes rendezvous. Numerics are bit-equal\n"
+               "across every row.\n";
+  return failed ? EXIT_FAILURE : EXIT_SUCCESS;
+}

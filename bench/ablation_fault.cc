@@ -68,6 +68,8 @@ Measurement run_case(const Scenario& s) {
   out.result.mean_step = out.mean_step;
   out.result.gflops = r.achieved_gflops();
   out.result.counted_flops = r.total_counted_flops();
+  out.result.msgs_total = static_cast<double>(out.counters.messages_sent);
+  out.result.mpi_post_count = static_cast<double>(out.counters.mpi_posts);
   std::cerr << "  [fault] " << s.name << ": "
             << format_duration(out.mean_step) << "/step, injected "
             << out.counters.fault_injected << "\n";

@@ -49,6 +49,8 @@ std::string JsonReport::write(const std::string& dir) const {
     w.kv("critical_path_ps", res.critical_path_ps);
     w.kv("cpe_idle_frac", res.cpe_idle_frac);
     w.kv("host_ms", res.host_ms);
+    w.kv("msgs_total", res.msgs_total);
+    w.kv("mpi_post_count", res.mpi_post_count);
     w.end_object();
   }
   w.end_array();

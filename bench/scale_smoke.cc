@@ -1,15 +1,24 @@
 // Scale smoke: the conservative parallel coordinator against the serial
-// token at 128/512/1024 simulated CGs (one host thread per CG). Extends
-// the Fig 5 / Table 5 experiment grid an order of magnitude past the
-// paper's 128-CG ceiling: a 1024-patch heat-free Burgers problem, one
-// patch per CG at the top of the sweep.
+// token at 128/512/1024 simulated CGs (one host thread per CG), with and
+// without message aggregation (--comm-agg). Extends the Fig 5 / Table 5
+// experiment grid an order of magnitude past the paper's 128-CG ceiling:
+// a 2048-patch heat-free Burgers problem, two patches per CG at the top
+// of the sweep so same-destination halo sends actually coalesce.
 //
-// The bench asserts the tentpole contract on every case — virtual step
-// walls and counted flops must be bit-identical between coordinators —
-// and reports host wall-clock side by side so the serial-vs-parallel
-// speedup lands in EXPERIMENTS.md. In the JSON report the coordinator is
-// folded into the variant key ("acc_simd.async@parallel"): virtual
-// metrics are exact-gated as usual, host_ms only at the LOOSE class.
+// The bench asserts the tentpole contracts on every case:
+//   - virtual step walls and counted flops are bit-identical between the
+//     serial and parallel coordinators, aggregation off AND on;
+//   - aggregation preserves the logical message stream (msgs_total equal)
+//     while strictly reducing emulated MPI posts (mpi_post_count).
+// The virtual step direction is measured, not asserted: post savings
+// dominate where ranks hold many patches (128 CGs), while at 1-2 patches
+// per CG the append costs sit on the critical path and the step is flat
+// to marginally slower — the honest trade-off lands in EXPERIMENTS.md.
+// Host wall-clock is reported side by side so the serial-vs-parallel
+// speedup lands in EXPERIMENTS.md. In the JSON report the coordinator
+// and aggregation are folded into the variant key
+// ("acc_simd.async@parallel+agg"): virtual metrics are gated as usual,
+// host_ms only at the LOOSE class.
 //
 // Options:
 //   --max-ranks=N    largest CG count (default 1024; CI budget knob)
@@ -22,6 +31,7 @@
 #include <iostream>
 #include <vector>
 
+#include "comm/agg.h"
 #include "json_report.h"
 #include "runtime/problem.h"
 #include "runtime/variant.h"
@@ -39,39 +49,74 @@ int main(int argc, char** argv) {
                     static_cast<int>(opts.get_int("backend-threads", 0)));
   bench::JsonReport json("scale_smoke");
 
-  // 16x8x8 = 1024 patches of 8^3 cells: every CG count in the sweep gets
-  // at least one whole patch.
+  // 16x16x8 = 2048 patches of 8^3 cells: every CG count in the sweep gets
+  // at least two whole patches, so each rank has multiple same-destination
+  // halo sends per step for the aggregation layer to pack.
   const runtime::ProblemSpec problem =
-      runtime::tiny_problem({16, 8, 8}, {8, 8, 8});
+      runtime::tiny_problem({16, 16, 8}, {8, 8, 8});
   const runtime::Variant variant = runtime::variant_by_name("acc_simd.async");
+  const comm::AggSpec agg = comm::AggSpec::parse("on");
 
   std::vector<int> cg_counts;
   for (int cgs : {128, 512, 1024})
     if (cgs <= max_ranks) cg_counts.push_back(cgs);
 
   TextTable table("Scale smoke: " + variant.name + " on " + problem.name +
-                  ", " + std::to_string(steps) + " steps");
-  table.set_header({"CGs", "step (virtual)", "serial host", "parallel host",
-                    "speedup"});
+                  ", " + std::to_string(steps) + " steps, agg " +
+                  agg.describe());
+  table.set_header({"CGs", "step (virtual)", "step (agg)", "posts",
+                    "posts (agg)", "serial host", "parallel host", "speedup"});
   bool mismatch = false;
   for (int cgs : cg_counts) {
+    sweep.set_comm_agg(comm::AggSpec{});
     sweep.set_coordinator(sim::CoordinatorSpec{});
     const bench::CaseResult serial = sweep.run(problem, variant, cgs);
     sweep.set_coordinator(sim::CoordinatorSpec::parse("parallel"));
     const bench::CaseResult parallel = sweep.run(problem, variant, cgs);
 
-    if (serial.mean_step != parallel.mean_step ||
-        serial.counted_flops != parallel.counted_flops) {
+    sweep.set_comm_agg(agg);
+    sweep.set_coordinator(sim::CoordinatorSpec{});
+    const bench::CaseResult serial_agg = sweep.run(problem, variant, cgs);
+    sweep.set_coordinator(sim::CoordinatorSpec::parse("parallel"));
+    const bench::CaseResult parallel_agg = sweep.run(problem, variant, cgs);
+
+    const auto coords_equal = [&](const bench::CaseResult& a,
+                                  const bench::CaseResult& b,
+                                  const char* what) {
+      if (a.mean_step == b.mean_step && a.counted_flops == b.counted_flops)
+        return;
       std::fprintf(stderr,
-                   "ERROR: coordinator results diverge at %d CGs: "
+                   "ERROR: coordinator results diverge (%s) at %d CGs: "
                    "step %lld vs %lld ps, flops %.0f vs %.0f\n",
-                   cgs, static_cast<long long>(serial.mean_step),
-                   static_cast<long long>(parallel.mean_step),
-                   serial.counted_flops, parallel.counted_flops);
+                   what, cgs, static_cast<long long>(a.mean_step),
+                   static_cast<long long>(b.mean_step), a.counted_flops,
+                   b.counted_flops);
+      mismatch = true;
+    };
+    coords_equal(serial, parallel, "agg off");
+    coords_equal(serial_agg, parallel_agg, "agg on");
+
+    // Aggregation contract: same logical message stream, fewer posts, and
+    // the virtual step must not get slower — that is the whole point.
+    if (serial_agg.msgs_total != serial.msgs_total) {
+      std::fprintf(stderr,
+                   "ERROR: aggregation changed the logical message count at "
+                   "%d CGs: %.0f vs %.0f\n",
+                   cgs, serial_agg.msgs_total, serial.msgs_total);
+      mismatch = true;
+    }
+    if (serial_agg.mpi_post_count >= serial.mpi_post_count) {
+      std::fprintf(stderr,
+                   "ERROR: aggregation did not reduce MPI posts at %d CGs: "
+                   "%.0f vs %.0f\n",
+                   cgs, serial_agg.mpi_post_count, serial.mpi_post_count);
       mismatch = true;
     }
     json.add({problem.name, variant.name + "@serial", cgs}, serial);
     json.add({problem.name, variant.name + "@parallel", cgs}, parallel);
+    json.add({problem.name, variant.name + "@serial+agg", cgs}, serial_agg);
+    json.add({problem.name, variant.name + "@parallel+agg", cgs},
+             parallel_agg);
 
     char speedup[32];
     std::snprintf(speedup, sizeof speedup, "%.2fx",
@@ -81,7 +126,10 @@ int main(int argc, char** argv) {
     std::snprintf(shost, sizeof shost, "%.0f ms", serial.host_ms);
     std::snprintf(phost, sizeof phost, "%.0f ms", parallel.host_ms);
     table.add_row({std::to_string(cgs), format_duration(serial.mean_step),
-                   shost, phost, speedup});
+                   format_duration(serial_agg.mean_step),
+                   TextTable::num(serial.mpi_post_count, 0),
+                   TextTable::num(serial_agg.mpi_post_count, 0), shost, phost,
+                   speedup});
   }
   table.print(std::cout);
   const std::string path = json.write();

@@ -13,7 +13,8 @@ namespace usw::bench {
 const CaseResult& Sweep::run(const runtime::ProblemSpec& problem,
                              const runtime::Variant& variant, int ranks) {
   const CaseKey key{problem.name, variant.name, ranks,
-                    coordinator_.parallel() ? coordinator_.describe() : ""};
+                    coordinator_.parallel() ? coordinator_.describe() : "",
+                    comm_agg_.enabled ? comm_agg_.describe() : ""};
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;
 
@@ -28,6 +29,7 @@ const CaseResult& Sweep::run(const runtime::ProblemSpec& problem,
   config.backend = backend_;
   config.backend_threads = backend_threads_;
   config.coordinator = coordinator_;
+  config.comm_agg = comm_agg_;
 
   apps::burgers::BurgersApp app;
   const auto host_start = std::chrono::steady_clock::now();
@@ -41,6 +43,11 @@ const CaseResult& Sweep::run(const runtime::ProblemSpec& problem,
   res.mean_step = r.mean_step_wall();
   res.gflops = r.achieved_gflops();
   res.counted_flops = r.total_counted_flops();
+  {
+    const hw::PerfCounters c = r.merged_counters();
+    res.msgs_total = static_cast<double>(c.messages_sent);
+    res.mpi_post_count = static_cast<double>(c.mpi_posts);
+  }
   if (observe_) {
     const obs::MetricsReport m = obs::build_metrics(runtime::observe(r));
     res.overlap_efficiency = m.overlap_efficiency;

@@ -25,10 +25,14 @@ struct CaseKey {
   /// Coordinator description ("" = serial). Only the scale benches vary
   /// it; it stays out of the JSON key (virtual results are identical).
   std::string coordinator;
+  /// Comm-aggregation description ("" = off, see comm::AggSpec::describe).
+  /// Unlike the coordinator this DOES change virtual comm timing, so the
+  /// benches that vary it fold it into the variant name for the JSON key.
+  std::string comm;
 
   friend bool operator<(const CaseKey& a, const CaseKey& b) {
-    return std::tie(a.problem, a.variant, a.ranks, a.coordinator) <
-           std::tie(b.problem, b.variant, b.ranks, b.coordinator);
+    return std::tie(a.problem, a.variant, a.ranks, a.coordinator, a.comm) <
+           std::tie(b.problem, b.variant, b.ranks, b.coordinator, b.comm);
   }
 };
 
@@ -48,6 +52,12 @@ struct CaseResult {
   /// load-dependent: bench_compare gates it only at a very loose tolerance
   /// (a sanity net against pathological slowdowns, not a perf contract).
   double host_ms = 0.0;
+
+  // Comm-layer volume, always filled from the merged perf counters. Both
+  // are exact-deterministic; bench_compare gates them HIGHER_IS_WORSE so
+  // a change that silently inflates traffic or post overhead fails CI.
+  double msgs_total = 0.0;     ///< logical messages sent (agg-invariant)
+  double mpi_post_count = 0.0; ///< emulated MPI_Isend/Irecv posts charged
 };
 
 class Sweep {
@@ -73,6 +83,11 @@ class Sweep {
     coordinator_ = spec;
   }
 
+  /// Message aggregation / protocol split for subsequent runs (see
+  /// comm/agg.h). Unlike the backend/coordinator this changes virtual
+  /// comm timing, so aggregated cases cache under a distinct key.
+  void set_comm_agg(const comm::AggSpec& spec) { comm_agg_ = spec; }
+
   /// Runs (or returns the cached) case.
   const CaseResult& run(const runtime::ProblemSpec& problem,
                         const runtime::Variant& variant, int ranks);
@@ -89,6 +104,7 @@ class Sweep {
   athread::Backend backend_ = athread::Backend::kSerial;
   int backend_threads_ = 0;
   sim::CoordinatorSpec coordinator_;
+  comm::AggSpec comm_agg_;
   std::map<CaseKey, CaseResult> cache_;
 };
 

@@ -80,6 +80,18 @@ void print_help() {
       "                                total grant order (--schedule, msg\n"
       "                                faults, --metrics-stream) fall back\n"
       "                                to serial automatically\n"
+      "  --comm-agg=off|on|size=B,count=N[,rdv=BYTES]\n"
+      "                                message aggregation: coalesce same-\n"
+      "                                destination small sends into one\n"
+      "                                aggregate per neighbor per burst,\n"
+      "                                flushed at B buffered bytes (default\n"
+      "                                16k) or N sub-messages (default 64);\n"
+      "                                sends >= rdv bytes skip the eager\n"
+      "                                copy for a rendezvous handshake\n"
+      "                                (default: cost-model break-even).\n"
+      "                                Numerics/archives are bit-equal to\n"
+      "                                --comm-agg=off; only virtual comm\n"
+      "                                time moves (default off)\n"
       "  --timing-only                 skip field allocation (big problems)\n"
       "  --partition=block|roundrobin|cost\n"
       "  --cpe-groups=N  --async-dma  --packed-tiles\n"
@@ -201,7 +213,8 @@ int main(int argc, char** argv) {
   if (opts.get_bool("version", false)) {
     std::printf("%s\n", build_info_line().c_str());
     std::printf("features: backends=serial,threads coordinators=serial,parallel "
-                "schedule=fuzz,record,replay diagnostics=flight,watchdog,stream\n");
+                "schedule=fuzz,record,replay diagnostics=flight,watchdog,stream "
+                "comm=agg,rendezvous\n");
     return 0;
   }
   try {
@@ -219,6 +232,7 @@ int main(int argc, char** argv) {
         static_cast<int>(get_int_min(opts, "backend-threads", 0, 0));
     config.coordinator =
         sim::CoordinatorSpec::parse(opts.get("coordinator", "serial"));
+    config.comm_agg = comm::AggSpec::parse(opts.get("comm-agg", "off"));
     config.nranks = static_cast<int>(get_int_min(opts, "ranks", 4, 1));
     config.timesteps = static_cast<int>(get_int_min(opts, "steps", 10, 0));
     config.storage = opts.get_bool("timing-only", false)
@@ -300,15 +314,19 @@ int main(int argc, char** argv) {
 
     // Everything host-configuration-dependent (backend, coordinator) stays
     // on this first line: equivalence tests diff stdout with `tail -n +2`.
+    // The aggregation policy rides along here too — it is part of the
+    // configuration under comparison, not of the simulated results.
+    const std::string agg_note =
+        config.comm_agg.enabled ? ", comm-agg " + config.comm_agg.describe() : "";
     std::printf("uswsim: %s on %s (%d patches of %s), %d CGs, %d steps, %s, "
-                "%s backend, %s tiles, %s coordinator\n",
+                "%s backend, %s tiles, %s coordinator%s\n",
                 app->name().c_str(), config.problem.grid_size().to_string().c_str(),
                 config.problem.num_patches(),
                 config.problem.patch_size.to_string().c_str(), config.nranks,
                 config.timesteps, config.variant.name.c_str(),
                 athread::to_string(config.backend),
                 sched::to_string(config.tile_policy),
-                config.coordinator.describe().c_str());
+                config.coordinator.describe().c_str(), agg_note.c_str());
     if (!config.faults.empty())
       std::printf("fault injection: %s\n", config.faults.describe().c_str());
     // Every schedule-exploration line starts with "schedule" so trace
@@ -359,7 +377,14 @@ int main(int argc, char** argv) {
     table.add_row({"idle wait/CG", format_duration(sum.wait_time / config.nranks)});
     table.add_row({"offloads", std::to_string(sum.kernels_offloaded)});
     table.add_row({"MPI messages", std::to_string(sum.messages_sent)});
+    table.add_row({"MPI posts", std::to_string(sum.mpi_posts)});
     table.add_row({"MPI volume", format_bytes(sum.bytes_sent)});
+    if (config.comm_agg.enabled) {
+      table.add_row({"agg packed", std::to_string(sum.agg_msgs_packed)});
+      table.add_row({"agg flushes", std::to_string(sum.agg_flushes)});
+      table.add_row({"agg bytes saved", std::to_string(sum.agg_bytes_saved)});
+      table.add_row({"rendezvous sends", std::to_string(sum.msgs_rendezvous)});
+    }
     if (!config.faults.empty()) {
       table.add_row({"faults injected", std::to_string(sum.fault_injected)});
       table.add_row({"fault retries", std::to_string(sum.fault_retries)});

@@ -21,7 +21,8 @@ bench config cannot land without a committed baseline). CI runs --strict.
 
 Regression policy, per metric:
   * "higher is worse" metrics (mean_step_ps, wait_ps, critical_path_ps,
-    cpe_idle_frac) fail when fresh > baseline * (1 + tolerance);
+    cpe_idle_frac, msgs_total, mpi_post_count) fail when
+    fresh > baseline * (1 + tolerance);
   * "lower is worse" metrics (gflops, overlap_efficiency, scalars)
     fail when fresh < baseline * (1 - tolerance);
   * counted_flops is a work-volume invariant and must match exactly
@@ -47,9 +48,12 @@ import math
 import os
 import sys
 
-# metric -> direction in which it gets WORSE.
+# metric -> direction in which it gets WORSE. msgs_total and
+# mpi_post_count are the comm-volume gauges (deterministic counts of
+# logical messages and emulated MPI posts): a change that silently
+# inflates traffic or undoes message aggregation fails here.
 HIGHER_IS_WORSE = ("mean_step_ps", "wait_ps", "critical_path_ps",
-                   "cpe_idle_frac")
+                   "cpe_idle_frac", "msgs_total", "mpi_post_count")
 LOWER_IS_WORSE = ("gflops", "overlap_efficiency")
 EXACT = ("counted_flops",)
 EXACT_REL = 1e-12

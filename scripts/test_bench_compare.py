@@ -154,6 +154,27 @@ class BenchCompareTest(unittest.TestCase):
         r = run_compare(BASE, fresh)
         self.assertIn("SCALAR", r.stdout)
 
+    def test_comm_volume_regression_fails(self):
+        # msgs_total / mpi_post_count gate the comm layer: a change that
+        # inflates traffic or undoes message aggregation must fail, and a
+        # reduction (better coalescing) must pass as an improvement.
+        base = copy.deepcopy(BASE)
+        base["cases"][0]["msgs_total"] = 1000.0
+        base["cases"][0]["mpi_post_count"] = 600.0
+        for metric, worse in (("msgs_total", 1100.0),
+                              ("mpi_post_count", 700.0)):
+            fresh = copy.deepcopy(base)
+            fresh["cases"][0][metric] = worse
+            r = run_compare(base, fresh)
+            self.assertEqual(r.returncode, 1)
+            self.assertIn(metric, r.stdout)
+            self.assertIn("REGRESSION", r.stdout)
+        fresh = copy.deepcopy(base)
+        fresh["cases"][0]["mpi_post_count"] = 400.0
+        r = run_compare(base, fresh)
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("improved", r.stdout)
+
     def test_fresh_only_case_metric_noted_then_strict_fails(self):
         # The original hole: a known metric present only in the fresh case
         # was silently skipped by the baseline-driven metric loop.

@@ -1,0 +1,94 @@
+#include "comm/agg.h"
+
+#include <sstream>
+
+#include "support/error.h"
+
+namespace usw::comm {
+
+namespace {
+
+// "4096" | "4k" | "16K" | "2m" -> bytes. Throws naming --comm-agg.
+std::uint64_t parse_bytes(const std::string& key, const std::string& text) {
+  std::string num = text;
+  std::uint64_t mult = 1;
+  if (!num.empty()) {
+    const char suffix = num.back();
+    if (suffix == 'k' || suffix == 'K') {
+      mult = 1024;
+      num.pop_back();
+    } else if (suffix == 'm' || suffix == 'M') {
+      mult = 1024 * 1024;
+      num.pop_back();
+    }
+  }
+  std::size_t used = 0;
+  unsigned long long value = 0;
+  try {
+    value = std::stoull(num, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (num.empty() || used != num.size())
+    throw ConfigError("--comm-agg " + key + " must be a byte count, got '" +
+                      text + "'");
+  return static_cast<std::uint64_t>(value) * mult;
+}
+
+}  // namespace
+
+AggSpec AggSpec::parse(const std::string& text) {
+  AggSpec spec;
+  if (text.empty() || text == "off") return spec;
+  spec.enabled = true;
+  if (text == "on") return spec;
+
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const std::size_t eq = item.find('=');
+    const std::string key = item.substr(0, eq);
+    const std::string value = eq == std::string::npos ? "" : item.substr(eq + 1);
+    if (key == "size") {
+      spec.max_bytes = parse_bytes(key, value);
+    } else if (key == "count") {
+      std::size_t used = 0;
+      int n = 0;
+      try {
+        n = std::stoi(value, &used);
+      } catch (const std::exception&) {
+        used = 0;
+      }
+      if (value.empty() || used != value.size())
+        throw ConfigError("--comm-agg count must be an integer, got '" + value +
+                          "'");
+      spec.max_count = n;
+    } else if (key == "rdv") {
+      spec.rdv_bytes = static_cast<std::int64_t>(parse_bytes(key, value));
+    } else {
+      throw ConfigError("unknown --comm-agg option '" + item +
+                        "' (off|on|size=B,count=N[,rdv=BYTES])");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+std::string AggSpec::describe() const {
+  if (!enabled) return "off";
+  std::ostringstream os;
+  os << "size=" << max_bytes << ",count=" << max_count;
+  if (rdv_bytes >= 0) os << ",rdv=" << rdv_bytes;
+  return os.str();
+}
+
+void AggSpec::validate() const {
+  if (!enabled) return;
+  if (max_bytes < 64)
+    throw ConfigError("--comm-agg size must be at least 64 bytes");
+  if (max_count < 1 || max_count > kMaxSubsPerAggregate)
+    throw ConfigError("--comm-agg count must be in [1, " +
+                      std::to_string(kMaxSubsPerAggregate) + "]");
+}
+
+}  // namespace usw::comm

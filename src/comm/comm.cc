@@ -10,8 +10,9 @@
 namespace usw::comm {
 
 namespace {
-/// Tag space reserved for collectives; user tags must stay below this.
-constexpr int kCollectiveTagBase = 1 << 28;
+/// Tag space reserved for collectives; user tags (26 base bits + 4 step
+/// bits, see task/graph.h) must stay below this.
+constexpr int kCollectiveTagBase = 1 << 30;
 
 /// RequestId layout: low bits index the request table, high bits carry the
 /// table epoch. 2^40 requests per step and 2^24 epochs are both far beyond
@@ -53,7 +54,28 @@ Network::Delivery Network::deliver(Message msg, int attempt) {
     }
   }
   const auto lk = lock_mailbox(msg.dst);
-  mailboxes_[static_cast<std::size_t>(msg.dst)].push_back(std::move(msg));
+  auto& box = mailboxes_[static_cast<std::size_t>(msg.dst)];
+  if (!msg.subs.empty()) {
+    // Aggregate: the fault roll above decided the whole wire message's
+    // fate (one loss/delay hash on the aggregate's seq — all sub-messages
+    // share it deterministically). Explode it into ordinary per-(src,tag)
+    // messages so matching, schedule points, and lint see the same logical
+    // stream as with aggregation off.
+    for (std::size_t i = 0; i < msg.subs.size(); ++i) {
+      SubMessage& sub = msg.subs[i];
+      Message m;
+      m.src = msg.src;
+      m.dst = msg.dst;
+      m.tag = sub.tag;
+      m.bytes = sub.bytes;
+      m.arrival = msg.arrival;
+      m.seq = msg.seq + 1 + i;
+      m.payload = std::move(sub.payload);
+      box.push_back(std::move(m));
+    }
+    return result;
+  }
+  box.push_back(std::move(msg));
   return result;
 }
 
@@ -100,6 +122,7 @@ void Comm::maybe_retransmit(Request& req) {
     counters_->fault_retries += 1;
     counters_->messages_sent += 1;
     counters_->bytes_sent += req.bytes;
+    counters_->mpi_posts += 1;
   }
   Message msg;
   msg.src = rank_;
@@ -134,16 +157,44 @@ void Comm::maybe_retransmit(Request& req) {
   }
 }
 
-RequestId Comm::post_send(int dst, int tag, std::uint64_t bytes,
-                          std::vector<std::byte> payload) {
+void Comm::set_agg(const AggSpec& spec) {
+  spec.validate();
+  agg_ = spec;
+  agg_bufs_.clear();
+  rdv_threshold_bytes_ = 0;
+  if (agg_.enabled) {
+    agg_bufs_.resize(static_cast<std::size_t>(size()));
+    rdv_threshold_bytes_ = agg_.rdv_bytes >= 0
+                               ? static_cast<std::uint64_t>(agg_.rdv_bytes)
+                               : net_.cost().rendezvous_threshold_bytes();
+  }
+}
+
+std::uint64_t Comm::wire_seq() {
+  const std::uint64_t seq = net_.next_seq();
+  return agg_.enabled ? seq * kAggSeqStride : seq;
+}
+
+RequestId Comm::post_direct(int dst, int tag, std::uint64_t bytes,
+                            std::vector<std::byte> payload, Protocol proto) {
   USW_ASSERT_MSG(dst >= 0 && dst < size(), "send to invalid rank");
   USW_ASSERT_MSG(dst != rank_, "self-sends are not modeled; use local copies");
   const TimePs post = net_.cost().mpi_post_overhead();
-  coord_.advance(rank_, post);
+  // Protocol split (aggregation mode only): eager sends pay the bounce-
+  // buffer copy on the MPE, rendezvous sends pay the RTS/CTS round trip
+  // instead — both delay the injection below, which starts at now().
+  const TimePs proto_cost = proto == Protocol::kEager
+                                ? net_.cost().eager_copy(bytes)
+                                : proto == Protocol::kRendezvous
+                                      ? net_.cost().rdv_handshake()
+                                      : 0;
+  coord_.advance(rank_, post + proto_cost);
   if (counters_ != nullptr) {
-    counters_->comm_time += post;
+    counters_->comm_time += post + proto_cost;
     counters_->messages_sent += 1;
     counters_->bytes_sent += bytes;
+    counters_->mpi_posts += 1;
+    if (proto == Protocol::kRendezvous) counters_->msgs_rendezvous += 1;
   }
 
   Message msg;
@@ -151,7 +202,7 @@ RequestId Comm::post_send(int dst, int tag, std::uint64_t bytes,
   msg.dst = dst;
   msg.tag = tag;
   msg.bytes = bytes;
-  msg.seq = net_.next_seq();
+  msg.seq = wire_seq();
   msg.payload = std::move(payload);
 
   const TimePs now = coord_.now(rank_);
@@ -211,13 +262,188 @@ RequestId Comm::post_send(int dst, int tag, std::uint64_t bytes,
   return make_id(requests_.size() - 1);
 }
 
+RequestId Comm::append_agg(int dst, int tag, std::uint64_t bytes,
+                           std::vector<std::byte> payload) {
+  const TimePs cost = net_.cost().agg_append(bytes);
+  coord_.advance(rank_, cost);
+  if (counters_ != nullptr) {
+    counters_->comm_time += cost;
+    counters_->messages_sent += 1;
+    counters_->bytes_sent += bytes;
+    counters_->agg_msgs_packed += 1;
+  }
+  Request req;
+  req.kind = Kind::kSend;
+  req.peer = dst;
+  req.tag = tag;
+  req.bytes = bytes;
+  // Buffered-send semantics: the logical send completes locally once the
+  // payload is in the coalescing buffer — unless loss injection is armed,
+  // in which case completion is decided at flush like any eager send
+  // (complete_stamp doubles as the retransmit deadline on loss).
+  const bool loss_armed = net_.fault_plan() != nullptr &&
+                          net_.fault_plan()->has(fault::FaultKind::kMsgLoss);
+  if (loss_armed) {
+    req.complete_stamp = sim::kNever;  // resolved by flush_dst
+  } else {
+    req.done = true;
+    req.complete_stamp = coord_.now(rank_);
+  }
+  requests_.push_back(std::move(req));
+
+  AggBuffer& buf = agg_bufs_[static_cast<std::size_t>(dst)];
+  AggSub sub;
+  sub.req = requests_.size() - 1;
+  sub.tag = tag;
+  sub.bytes = bytes;
+  sub.payload = std::move(payload);
+  buf.subs.push_back(std::move(sub));
+  buf.bytes += bytes + net_.cost().agg_sub_header_bytes();
+  return make_id(requests_.size() - 1);
+}
+
+void Comm::flush_dst(int dst) {
+  AggBuffer& buf = agg_bufs_[static_cast<std::size_t>(dst)];
+  if (buf.subs.empty()) return;
+  const std::size_t n = buf.subs.size();
+  const TimePs post = net_.cost().mpi_post_overhead();
+  coord_.advance(rank_, post);
+  if (counters_ != nullptr) {
+    counters_->comm_time += post;
+    counters_->mpi_posts += 1;
+    counters_->agg_flushes += 1;
+    // Wire-byte accounting: coalescing n messages saves n-1 envelopes but
+    // spends n sub-headers; single-message aggregates go negative.
+    counters_->agg_bytes_saved +=
+        static_cast<std::int64_t>((n - 1) * net_.cost().msg_envelope_bytes()) -
+        static_cast<std::int64_t>(n * net_.cost().agg_sub_header_bytes());
+  }
+  const bool loss_armed = net_.fault_plan() != nullptr &&
+                          net_.fault_plan()->has(fault::FaultKind::kMsgLoss);
+  const TimePs now = coord_.now(rank_);
+
+  Message msg;
+  msg.src = rank_;
+  msg.dst = dst;
+  msg.seq = wire_seq();
+  msg.subs.reserve(n);
+  std::uint64_t wire_bytes = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    AggSub& sub = buf.subs[i];
+    Request& req = requests_[sub.req];
+    req.msg_seq = msg.seq + 1 + static_cast<std::uint64_t>(i);
+    req.attempts = 1;
+    wire_bytes += sub.bytes + net_.cost().agg_sub_header_bytes();
+    if (flight_ != nullptr)
+      flight_->record(obs::FlightKind::kMsgSend, now, dst,
+                      static_cast<std::int64_t>(req.msg_seq),
+                      static_cast<std::int64_t>(sub.bytes));
+    SubMessage wire_sub;
+    wire_sub.tag = sub.tag;
+    wire_sub.bytes = sub.bytes;
+    if (loss_armed) req.payload = sub.payload;  // retransmit copy
+    wire_sub.payload = std::move(sub.payload);
+    msg.subs.push_back(std::move(wire_sub));
+  }
+  msg.bytes = wire_bytes;
+  const TimePs injected = net_.reserve_link(rank_, now, wire_bytes);
+  msg.arrival = injected + net_.cost().params().net_latency +
+                net_.cost().params().mpi_sw_latency;
+  const std::uint64_t agg_seq = msg.seq;
+
+  const Network::Delivery d = net_.deliver(std::move(msg), 1);
+  if (d.status == Network::DeliveryStatus::kLost) {
+    // The whole aggregate was dropped; every sub-message is retransmitted
+    // individually (own seq, attempt 2) by maybe_retransmit when its
+    // deadline passes — losing an aggregate must not re-coalesce, or the
+    // retransmit seqs would change with the flush policy.
+    if (counters_ != nullptr) counters_->fault_injected += 1;
+    for (const AggSub& sub : buf.subs) {
+      Request& req = requests_[sub.req];
+      req.done = false;
+      req.lost = true;
+      req.complete_stamp =
+          retransmit_ ? injected + retransmit_timeout(req.bytes) : sim::kNever;
+      if (flight_ != nullptr)
+        flight_->record(obs::FlightKind::kMsgLost, now, dst,
+                        static_cast<std::int64_t>(req.msg_seq), 1);
+    }
+  } else {
+    if (d.status == Network::DeliveryStatus::kDelayed) {
+      if (counters_ != nullptr) counters_->fault_injected += 1;
+      if (flight_ != nullptr)
+        flight_->record(obs::FlightKind::kMsgDelayed, now, dst,
+                        static_cast<std::int64_t>(agg_seq));
+    }
+    for (const AggSub& sub : buf.subs) {
+      Request& req = requests_[sub.req];
+      req.done = true;
+      req.lost = false;
+      req.complete_stamp = injected;
+      req.payload.clear();
+    }
+    coord_.notify(dst, d.arrival, rank_);
+  }
+  buf.subs.clear();
+  buf.bytes = 0;
+}
+
+void Comm::flush_sends() {
+  if (!agg_.enabled) return;
+  for (int dst = 0; dst < size(); ++dst) flush_dst(dst);
+}
+
+RequestId Comm::route_send(int dst, int tag, std::uint64_t bytes,
+                           std::vector<std::byte> payload) {
+  // Collectives keep the legacy path: their binomial trees are latency-
+  // bound request/reply chains with nothing to coalesce.
+  if (!agg_.enabled || tag >= kCollectiveTagBase)
+    return post_direct(dst, tag, bytes, std::move(payload), Protocol::kLegacy);
+  // Flushing before any direct post keeps wire seqs — and with them the
+  // MPI non-overtaking order within a (src, tag) class — in logical send
+  // order: buffered predecessors always hit the wire first.
+  if (bytes >= rdv_threshold_bytes_) {
+    flush_dst(dst);
+    return post_direct(dst, tag, bytes, std::move(payload),
+                       Protocol::kRendezvous);
+  }
+  const std::uint64_t entry = bytes + net_.cost().agg_sub_header_bytes();
+  if (entry > agg_.max_bytes) {
+    flush_dst(dst);
+    return post_direct(dst, tag, bytes, std::move(payload), Protocol::kEager);
+  }
+  AggBuffer& buf = agg_bufs_[static_cast<std::size_t>(dst)];
+  if (buf.bytes + entry > agg_.max_bytes) flush_dst(dst);
+  const RequestId id = append_agg(dst, tag, bytes, std::move(payload));
+  if (static_cast<int>(agg_bufs_[static_cast<std::size_t>(dst)].subs.size()) >=
+      agg_.max_count)
+    flush_dst(dst);
+  return id;
+}
+
 RequestId Comm::isend(int dst, int tag, std::span<const std::byte> data) {
   std::vector<std::byte> payload(data.begin(), data.end());
-  return post_send(dst, tag, data.size(), std::move(payload));
+  return route_send(dst, tag, data.size(), std::move(payload));
+}
+
+RequestId Comm::isend(int dst, int tag, std::vector<std::byte>&& data) {
+  const std::uint64_t bytes = data.size();
+  return route_send(dst, tag, bytes, std::move(data));
 }
 
 RequestId Comm::isend_bytes(int dst, int tag, std::uint64_t bytes) {
-  return post_send(dst, tag, bytes, {});
+  return route_send(dst, tag, bytes, {});
+}
+
+void Comm::isend_multi(std::span<SendDesc> descs, std::vector<RequestId>* out) {
+  for (SendDesc& desc : descs) {
+    const std::uint64_t bytes =
+        desc.payload.empty() ? desc.bytes : desc.payload.size();
+    const RequestId id =
+        route_send(desc.dst, desc.tag, bytes, std::move(desc.payload));
+    if (out != nullptr) out->push_back(id);
+  }
+  flush_sends();
 }
 
 RequestId Comm::irecv(int src, int tag) {
@@ -225,7 +451,10 @@ RequestId Comm::irecv(int src, int tag) {
   USW_ASSERT_MSG(src != rank_, "self-receives are not modeled");
   const TimePs post = net_.cost().mpi_post_overhead();
   coord_.advance(rank_, post);
-  if (counters_ != nullptr) counters_->comm_time += post;
+  if (counters_ != nullptr) {
+    counters_->comm_time += post;
+    counters_->mpi_posts += 1;
+  }
   Request req;
   req.kind = Kind::kRecv;
   req.peer = src;
@@ -265,12 +494,17 @@ void Comm::match_visible() {
                              static_cast<int>(classes.size()));
     std::rotate(classes.begin(), classes.begin() + k, classes.end());
   }
+  // Consumed messages are marked and compacted out in ONE order-preserving
+  // pass at the end: erasing from the middle per match is O(n^2) at the
+  // mailbox depths a 1k-CG step produces.
+  match_consumed_.assign(box.size(), 0);
+  bool any_consumed = false;
   for (const auto& [src, tag] : classes) {
-    for (auto it = box.begin(); it != box.end();) {
-      if (it->arrival > now || it->src != src || it->tag != tag) {
-        ++it;
+    for (std::size_t i = 0; i < box.size(); ++i) {
+      Message& msg = box[i];
+      if (match_consumed_[i] != 0 || msg.arrival > now || msg.src != src ||
+          msg.tag != tag)
         continue;
-      }
       Request* target = nullptr;
       for (auto& req : requests_) {
         if (req.kind == Kind::kRecv && !req.done && req.peer == src &&
@@ -281,23 +515,37 @@ void Comm::match_visible() {
       }
       if (target == nullptr) break;  // unexpected; whole class stays buffered
       target->done = true;
-      target->bytes = it->bytes;
-      target->complete_stamp = it->arrival;
-      target->payload = std::move(it->payload);
+      target->bytes = msg.bytes;
+      target->complete_stamp = msg.arrival;
+      target->payload = std::move(msg.payload);
       if (counters_ != nullptr) {
         counters_->messages_received += 1;
         counters_->bytes_received += target->bytes;
       }
       if (flight_ != nullptr)
         flight_->record(obs::FlightKind::kMsgMatch, now, src,
-                        static_cast<std::int64_t>(it->seq),
+                        static_cast<std::int64_t>(msg.seq),
                         static_cast<std::int64_t>(target->bytes));
-      it = box.erase(it);
+      match_consumed_[i] = 1;
+      any_consumed = true;
     }
+  }
+  if (any_consumed) {
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < box.size(); ++i) {
+      if (match_consumed_[i] != 0) continue;
+      if (write != i) box[write] = std::move(box[i]);
+      ++write;
+    }
+    box.resize(write);
   }
 }
 
 bool Comm::test(RequestId id) {
+  // Progress guarantee for buffered sends: anything still coalescing is
+  // pushed to the wire before this endpoint inspects or waits on state
+  // that could depend on it (no-op with aggregation off).
+  flush_sends();
   Request& req = checked(id);
   if (req.done) return true;
   coord_.gate(rank_);
@@ -314,6 +562,7 @@ bool Comm::test(RequestId id) {
 }
 
 std::size_t Comm::test_bulk(std::span<const RequestId> ids) {
+  flush_sends();
   coord_.gate(rank_);
   const TimePs cost =
       net_.cost().mpi_test_overhead() +
@@ -398,7 +647,7 @@ double Comm::allreduce(double value, int op) {
   if (counters_ != nullptr) counters_->reductions += 1;
   const int n = size();
   if (n == 1) return value;
-  const int tag = kCollectiveTagBase + (coll_seq_++ & 0x0fffffff);
+  const int tag = kCollectiveTagBase + (coll_seq_++ & 0x3fffffff);
   auto combine = [op](double a, double b) {
     if (op == 0) return a + b;
     if (op == 1) return std::min(a, b);
@@ -460,6 +709,10 @@ double Comm::allreduce_max(double value) { return allreduce(value, 2); }
 void Comm::barrier() { (void)allreduce(0.0, 0); }
 
 void Comm::reset_requests() {
+  // Safety net: a buffer left coalescing past the end of a step would
+  // strand its sub-messages (and, under loss injection, leave pending
+  // requests). Flush before the hygiene check.
+  flush_sends();
   USW_ASSERT_MSG(pending_requests() == 0,
                  "reset_requests with operations still pending");
   requests_.clear();

@@ -20,6 +20,27 @@
 //   * ghost-buffer packing time is charged separately by the scheduler via
 //     CostModel::mpe_pack, not here.
 //
+// Message aggregation (--comm-agg, see agg.h): with an AggSpec enabled via
+// set_agg, small same-destination sends are coalesced into per-destination
+// buffers and posted as ONE aggregate wire message per flush — one
+// mpi_post_overhead and one link reservation for the whole burst, each
+// appended sub-message paying only CostModel::agg_append. Large sends skip
+// the buffer and the eager bounce copy, paying a rendezvous handshake
+// instead (CostModel::rendezvous_threshold_bytes, override AggSpec::
+// rdv_bytes). Network::deliver explodes an aggregate back into ordinary
+// per-(src,tag) messages before they reach a mailbox, so matching, the
+// kMsgMatch schedule point, payload routing, and comm lint all see the
+// same logical message stream as with aggregation off. Sub-message seqs
+// are derived from the aggregate's seq (agg + 1 + i, with all wire seqs
+// strided by kAggSeqStride), which keeps per-sender monotonicity — and
+// with it MPI non-overtaking — plus deterministic fault hashing and
+// flight-ring events across backends and coordinators. A buffered send
+// completes locally at append time (MPI_Bsend semantics) unless loss
+// injection is armed, in which case it completes at flush like any other
+// eager send. Buffers are flushed on the size/count policy, by
+// flush_sends() (schedulers call it after each halo burst), and as a
+// progress guarantee at the head of test/test_bulk and reset_requests.
+//
 // Thread safety: the Network object is shared by all rank threads. Under
 // the serial coordinator only the token-holding rank touches it, with the
 // coordinator's mutex providing the happens-before edges. Under the
@@ -46,6 +67,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/agg.h"
 #include "fault/fault.h"
 #include "hw/cost_model.h"
 #include "hw/perf_counters.h"
@@ -65,6 +87,14 @@ namespace usw::comm {
 /// StateError) instead of silently aliasing a fresh request.
 using RequestId = std::size_t;
 
+/// One coalesced message inside an aggregate (its wire form is a header
+/// table entry plus the packed payload).
+struct SubMessage {
+  int tag = -1;
+  std::uint64_t bytes = 0;
+  std::vector<std::byte> payload;  ///< empty in timing-only mode
+};
+
 /// In-flight or arrived message.
 struct Message {
   int src = -1;
@@ -74,6 +104,12 @@ struct Message {
   TimePs arrival = 0;          ///< virtual time it becomes matchable
   std::uint64_t seq = 0;       ///< global send order, for MPI matching rules
   std::vector<std::byte> payload;  ///< empty in timing-only mode
+  /// Aggregate wire message: sub-messages coalesced by the sender.
+  /// Non-empty => Network::deliver explodes them into ordinary messages
+  /// with seqs `seq + 1 + i` before anything reaches a mailbox; `tag` and
+  /// `payload` above are unused and `bytes` is the wire total (payloads
+  /// plus sub-message headers).
+  std::vector<SubMessage> subs;
 };
 
 /// Shared mail system: one mailbox per rank.
@@ -169,12 +205,45 @@ class Comm {
   /// Charges local MPE time (used by schedulers for their own overheads).
   void advance(TimePs dt) { coord_.advance(rank_, dt); }
 
+  /// Seq-space stride between wire messages when aggregation is on: an
+  /// aggregate posted with seq S hands its sub-messages S+1..S+stride-1.
+  static constexpr std::uint64_t kAggSeqStride =
+      static_cast<std::uint64_t>(AggSpec::kMaxSubsPerAggregate) + 1;
+
+  /// Installs the aggregation policy (validates it first). Must be called
+  /// before any send is posted; every endpoint of a run must use the same
+  /// spec, since the seq-space stride is keyed on it.
+  void set_agg(const AggSpec& spec);
+  const AggSpec& agg() const { return agg_; }
+
   /// Nonblocking send with payload (functional mode). The data is copied
   /// at post time (eager protocol).
   RequestId isend(int dst, int tag, std::span<const std::byte> data);
 
+  /// Move-in overload: takes ownership of the packed buffer, avoiding the
+  /// span copy on the hot halo path.
+  RequestId isend(int dst, int tag, std::vector<std::byte>&& data);
+
   /// Nonblocking send of `bytes` without payload (timing-only mode).
   RequestId isend_bytes(int dst, int tag, std::uint64_t bytes);
+
+  /// One send of a bulk burst (isend_multi).
+  struct SendDesc {
+    int dst = -1;
+    int tag = -1;
+    std::uint64_t bytes = 0;         ///< used when payload is empty
+    std::vector<std::byte> payload;  ///< moved from; empty in timing-only
+  };
+
+  /// Bulk send: posts every descriptor (coalescing same-destination small
+  /// messages when aggregation is on) then flushes, so each neighbor gets
+  /// at most one aggregate for the burst. Appends one RequestId per
+  /// descriptor to `out` (in order) when non-null.
+  void isend_multi(std::span<SendDesc> descs, std::vector<RequestId>* out);
+
+  /// Flushes every open coalescing buffer (ascending destination order).
+  /// No-op with aggregation off or nothing buffered.
+  void flush_sends();
 
   /// Nonblocking receive matching (src, tag).
   RequestId irecv(int src, int tag);
@@ -258,6 +327,12 @@ class Comm {
  private:
   enum class Kind : std::uint8_t { kSend, kRecv };
 
+  /// Wire protocol of a directly posted (non-coalesced) send. kLegacy is
+  /// the aggregation-off path, byte-identical to the pre-aggregation
+  /// model; under aggregation small directs pay the eager bounce copy and
+  /// large ones the rendezvous handshake.
+  enum class Protocol : std::uint8_t { kLegacy, kEager, kRendezvous };
+
   struct Request {
     Kind kind = Kind::kSend;
     int peer = -1;
@@ -273,8 +348,26 @@ class Comm {
     std::vector<std::byte> payload;  ///< recv data; sends: retransmit copy
   };
 
-  RequestId post_send(int dst, int tag, std::uint64_t bytes,
-                      std::vector<std::byte> payload);
+  /// Routes a logical send: legacy path (aggregation off / collectives),
+  /// coalescing buffer, or a direct post with the eager/rendezvous split.
+  RequestId route_send(int dst, int tag, std::uint64_t bytes,
+                       std::vector<std::byte> payload);
+
+  /// Posts one wire message now (the pre-aggregation post_send).
+  RequestId post_direct(int dst, int tag, std::uint64_t bytes,
+                        std::vector<std::byte> payload, Protocol proto);
+
+  /// Appends a small send to `dst`'s coalescing buffer (request completes
+  /// per buffered-send semantics; wire seq assigned at flush).
+  RequestId append_agg(int dst, int tag, std::uint64_t bytes,
+                       std::vector<std::byte> payload);
+
+  /// Posts `dst`'s coalescing buffer as one aggregate wire message.
+  void flush_dst(int dst);
+
+  /// Next wire seq: the raw global counter, strided when aggregation is on
+  /// so sub-message seqs slot in behind their aggregate.
+  std::uint64_t wire_seq();
 
   /// Decodes and validates a RequestId; throws StateError if it is from a
   /// released table (epoch mismatch after reset_requests) or out of range.
@@ -297,6 +390,20 @@ class Comm {
 
   double allreduce(double value, int op);  // 0=sum 1=min 2=max
 
+  /// A buffered (not yet flushed) sub-message.
+  struct AggSub {
+    std::size_t req = 0;  ///< request-table slot of the logical send
+    int tag = -1;
+    std::uint64_t bytes = 0;
+    std::vector<std::byte> payload;
+  };
+
+  /// Per-destination coalescing buffer.
+  struct AggBuffer {
+    std::vector<AggSub> subs;
+    std::uint64_t bytes = 0;  ///< buffered payload + sub-header bytes
+  };
+
   Network& net_;
   sim::Coordinator& coord_;
   int rank_;
@@ -306,6 +413,10 @@ class Comm {
   std::vector<Request> requests_;
   std::size_t epoch_ = 0;  ///< bumped by reset_requests; stamps RequestIds
   std::uint32_t coll_seq_ = 0;
+  AggSpec agg_;
+  std::uint64_t rdv_threshold_bytes_ = 0;  ///< resolved at set_agg
+  std::vector<AggBuffer> agg_bufs_;        ///< one per destination rank
+  std::vector<char> match_consumed_;       ///< match_visible scratch
 };
 
 }  // namespace usw::comm

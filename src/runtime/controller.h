@@ -13,6 +13,7 @@
 
 #include "athread/athread.h"
 #include "check/check.h"
+#include "comm/agg.h"
 #include "fault/fault.h"
 #include "grid/partition.h"
 #include "hw/machine_params.h"
@@ -66,6 +67,13 @@ struct RunConfig {
   /// injection, streaming metrics) automatically fall back to serial
   /// granting; the effective mode is reported in RunResult.
   sim::CoordinatorSpec coordinator;
+
+  /// Message aggregation/coalescing and the eager/rendezvous protocol
+  /// split (uswsim --comm-agg, see comm/agg.h). Off by default. Numerics
+  /// and archives are bit-equal with aggregation on or off, and the
+  /// serial/parallel coordinator byte-equality contract holds with it
+  /// enabled; only virtual comm timing (and the comm.agg.* metrics) move.
+  comm::AggSpec comm_agg;
 
   // Future-work options (paper Sec IX), orthogonal to the variant:
   int cpe_groups = 1;         ///< concurrent kernels per CG (async modes)

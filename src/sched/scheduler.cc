@@ -170,8 +170,10 @@ void Scheduler::post_send(task::TaskContext& ctx, const task::ExtComm& sc,
   counters_.pack_bytes += sc.bytes();
   comm::RequestId req;
   if (dw.functional()) {
-    const auto payload = dw.get(sc.label, sc.from_patch).pack(sc.region);
-    req = comm_.isend(sc.peer_rank, sc.tag(ctx.step), payload);
+    // Hand the packed buffer straight to the comm layer (move overload):
+    // the halo path used to copy it again at post time.
+    req = comm_.isend(sc.peer_rank, sc.tag(ctx.step),
+                      dw.get(sc.label, sc.from_patch).pack(sc.region));
   } else {
     req = comm_.isend_bytes(sc.peer_rank, sc.tag(ctx.step), sc.bytes());
   }
@@ -187,7 +189,10 @@ void Scheduler::post_send(task::TaskContext& ctx, const task::ExtComm& sc,
 
 void Scheduler::post_initial_sends(task::TaskContext& ctx) {
   // Old-DW ghost data is complete at step start; ship it immediately.
+  // With aggregation on this burst coalesces into (at most) one aggregate
+  // per neighbor, posted by the flush.
   for (const task::ExtComm& sc : graph_.initial_sends) post_send(ctx, sc);
+  comm_.flush_sends();
 }
 
 int Scheduler::pick_ready(int want_stencil) {
@@ -559,8 +564,10 @@ void Scheduler::on_finished(task::TaskContext& ctx, int dt_index) {
   trace_.record(comm_.now(), sim::EventKind::kTaskEnd,
                 dt.task->name() + " p" + std::to_string(dt.patch_id),
                 sim::EventIds{step_, dt_index, dt.patch_id, -1, -1, -1, 0});
-  // Sec V-C 3(b)i: post nonblocking sends for the completed task.
+  // Sec V-C 3(b)i: post nonblocking sends for the completed task — one
+  // aggregate per neighbor when aggregation is on.
   for (const task::ExtComm& sc : dt.sends) post_send(ctx, sc, dt_index);
+  comm_.flush_sends();
   for (int succ : dt.successors) {
     DtState& ss = state_[static_cast<std::size_t>(succ)];
     USW_ASSERT(ss.pending_preds > 0);

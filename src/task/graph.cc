@@ -67,11 +67,12 @@ CompiledGraph TaskGraph::compile(const grid::Level& level,
   const int ntasks = static_cast<int>(tasks_.size());
 
   // Tag layout: ((((task * L + label) * 2 + dw) * P) + from) * P + to,
-  // which must fit below 2^24 (4 step bits and the collective tag space
-  // sit above it).
+  // which must fit below 2^26 (4 step bits at 2^26 and the collective tag
+  // space at 2^30 sit above it; see ExtComm::tag and comm.cc). 26 base
+  // bits admit a 4096-patch graph with the usual task/label counts.
   const long tag_span = static_cast<long>(ntasks) * labels.count() * 2 *
                         num_patches * num_patches;
-  if (tag_span >= (1l << 24))
+  if (tag_span >= (1l << 26))
     throw ConfigError("task graph too large for the MPI tag space (" +
                       std::to_string(tag_span) + " tags needed)");
   auto make_tag = [&](int task_idx, const var::VarLabel* label, WhichDW dw,

@@ -41,7 +41,7 @@ struct ExtComm {
     return static_cast<std::uint64_t>(region.volume()) * sizeof(double);
   }
   /// Final tag for a given timestep (steps are distinguished mod 16).
-  int tag(int step) const { return tag_base + (step & 0xF) * (1 << 24); }
+  int tag(int step) const { return tag_base + (step & 0xF) * (1 << 26); }
 };
 
 /// A local ghost copy done just before a detailed task runs.

@@ -1,0 +1,419 @@
+// Tests for the message aggregation / coalescing layer and the eager-
+// rendezvous protocol split (comm/agg.h, --comm-agg): spec parsing, wire
+// packing and unpacking, ordering and progress guarantees, counter
+// accounting, fault shared fate, and the central claim that numerics are
+// bit-equal with aggregation on or off.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/burgers/burgers_app.h"
+#include "comm/agg.h"
+#include "comm/comm.h"
+#include "fault/fault.h"
+#include "hw/perf_counters.h"
+#include "runtime/controller.h"
+#include "sim/coordinator.h"
+#include "support/error.h"
+
+namespace usw::comm {
+namespace {
+
+hw::MachineParams machine() { return hw::MachineParams::sunway_taihulight(); }
+
+/// Runs `body(comm, rank)` across `n` simulated ranks with aggregation
+/// `spec` installed and per-rank counters collected into `counters`
+/// (sized to n when non-null).
+template <typename Fn>
+void with_agg_ranks(int n, const AggSpec& spec, Fn&& body,
+                    std::vector<hw::PerfCounters>* counters = nullptr) {
+  const hw::CostModel cost(machine());
+  Network net(n, cost);
+  if (counters != nullptr) counters->assign(n, hw::PerfCounters{});
+  sim::run_ranks(n, [&](sim::Coordinator& coord, int rank) {
+    Comm comm(net, coord, rank,
+              counters != nullptr ? &(*counters)[rank] : nullptr);
+    comm.set_agg(spec);
+    body(comm, rank);
+  });
+}
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> out(s.size());
+  std::memcpy(out.data(), s.data(), s.size());
+  return out;
+}
+
+std::string str_of(const std::vector<std::byte>& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// ---------------------------------------------------------------------------
+// AggSpec parsing.
+
+TEST(AggSpec, ParsesOffAndDefaults) {
+  EXPECT_FALSE(AggSpec::parse("off").enabled);
+  EXPECT_FALSE(AggSpec::parse("").enabled);
+  const AggSpec on = AggSpec::parse("on");
+  EXPECT_TRUE(on.enabled);
+  EXPECT_EQ(on.max_bytes, 16u * 1024);
+  EXPECT_EQ(on.max_count, 64);
+  EXPECT_EQ(on.rdv_bytes, -1);  // threshold from the cost model
+}
+
+TEST(AggSpec, ParsesSizeCountAndSuffixes) {
+  const AggSpec a = AggSpec::parse("size=4k,count=8");
+  EXPECT_TRUE(a.enabled);
+  EXPECT_EQ(a.max_bytes, 4096u);
+  EXPECT_EQ(a.max_count, 8);
+  const AggSpec b = AggSpec::parse("size=1m,count=2,rdv=64k");
+  EXPECT_EQ(b.max_bytes, 1024u * 1024);
+  EXPECT_EQ(b.rdv_bytes, 64 * 1024);
+  EXPECT_NE(b.describe().find("rdv"), std::string::npos);
+}
+
+TEST(AggSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(AggSpec::parse("size="), ConfigError);
+  EXPECT_THROW(AggSpec::parse("size=4k,count=banana"), ConfigError);
+  EXPECT_THROW(AggSpec::parse("blah=1"), ConfigError);
+  EXPECT_THROW(AggSpec::parse("size=1,count=4"), ConfigError);   // < 64 B
+  EXPECT_THROW(AggSpec::parse("size=4k,count=0"), ConfigError);
+  EXPECT_THROW(AggSpec::parse("size=4k,count=9999"), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Packing mechanics.
+
+TEST(CommAgg, SingleMessageAggregateRoundtrips) {
+  std::vector<hw::PerfCounters> counters;
+  with_agg_ranks(
+      2, AggSpec::parse("on"),
+      [](Comm& comm, int rank) {
+        if (rank == 0) {
+          const RequestId s = comm.isend(1, 7, bytes_of("lone message"));
+          comm.wait(s);  // test() flushes the open buffer first
+        } else {
+          const RequestId r = comm.irecv(0, 7);
+          comm.wait(r);
+          EXPECT_EQ(str_of(comm.take_payload(r)), "lone message");
+        }
+      },
+      &counters);
+  hw::PerfCounters sum;
+  for (const auto& c : counters) sum.merge(c);
+  EXPECT_EQ(sum.agg_msgs_packed, 1u);
+  EXPECT_EQ(sum.agg_flushes, 1u);
+  // A one-message aggregate pays a sub-header without sharing an
+  // envelope: bytes_saved goes negative, and the counter must say so.
+  EXPECT_LT(sum.agg_bytes_saved, 0);
+}
+
+TEST(CommAgg, CoalescedBurstArrivesInOrderAcrossTags) {
+  // Several same-destination sends below the flush thresholds travel as
+  // one wire message and must unpack into per-(src,tag) sub-messages
+  // that match exactly like individually posted sends.
+  std::vector<hw::PerfCounters> counters;
+  with_agg_ranks(
+      2, AggSpec::parse("size=16k,count=64"),
+      [](Comm& comm, int rank) {
+        if (rank == 0) {
+          comm.isend(1, 3, bytes_of("a0"));
+          comm.isend(1, 4, bytes_of("b0"));
+          comm.isend(1, 3, bytes_of("a1"));
+          comm.isend(1, 4, bytes_of("b1"));
+          comm.flush_sends();
+        } else {
+          // Post receives in a different order than the sends.
+          const RequestId b1 = comm.irecv(0, 4);
+          const RequestId a0 = comm.irecv(0, 3);
+          const RequestId a1 = comm.irecv(0, 3);
+          const RequestId b0 = comm.irecv(0, 4);
+          const RequestId ids[] = {b1, a0, a1, b0};
+          comm.wait_all(ids);
+          // Non-overtaking per (src, tag): first-posted recv gets the
+          // first-sent payload of its tag.
+          EXPECT_EQ(str_of(comm.take_payload(b1)), "b0");
+          EXPECT_EQ(str_of(comm.take_payload(b0)), "b1");
+          EXPECT_EQ(str_of(comm.take_payload(a0)), "a0");
+          EXPECT_EQ(str_of(comm.take_payload(a1)), "a1");
+        }
+      },
+      &counters);
+  hw::PerfCounters sum;
+  for (const auto& c : counters) sum.merge(c);
+  EXPECT_EQ(sum.agg_msgs_packed, 4u);
+  EXPECT_EQ(sum.agg_flushes, 1u);  // one wire message for the burst
+  EXPECT_GT(sum.agg_bytes_saved, 0);
+}
+
+TEST(CommAgg, CountPolicyFlushesEagerly) {
+  std::vector<hw::PerfCounters> counters;
+  with_agg_ranks(
+      2, AggSpec::parse("size=16k,count=2"),
+      [](Comm& comm, int rank) {
+        if (rank == 0) {
+          std::vector<RequestId> ids;
+          for (int i = 0; i < 6; ++i)
+            ids.push_back(comm.isend(1, 1, bytes_of("m" + std::to_string(i))));
+          comm.wait_all(ids);
+        } else {
+          for (int i = 0; i < 6; ++i) {
+            const RequestId r = comm.irecv(0, 1);
+            comm.wait(r);
+            EXPECT_EQ(str_of(comm.take_payload(r)), "m" + std::to_string(i));
+          }
+        }
+      },
+      &counters);
+  hw::PerfCounters sum;
+  for (const auto& c : counters) sum.merge(c);
+  EXPECT_EQ(sum.agg_msgs_packed, 6u);
+  EXPECT_EQ(sum.agg_flushes, 3u);  // count=2 closes a buffer per pair
+}
+
+TEST(CommAgg, MixedEagerRendezvousBurst) {
+  // With a tiny explicit rendezvous threshold, large sends bypass the
+  // coalescing buffer (flushing it first to keep wire order) while small
+  // ones still pack. Everything must arrive with intact payloads.
+  std::vector<hw::PerfCounters> counters;
+  with_agg_ranks(
+      2, AggSpec::parse("size=16k,count=64,rdv=256"),
+      [](Comm& comm, int rank) {
+        const std::string big(512, 'R');
+        if (rank == 0) {
+          comm.isend(1, 1, bytes_of("small-1"));
+          comm.isend(1, 2, bytes_of(big));  // rendezvous, flushes small-1
+          comm.isend(1, 3, bytes_of("small-2"));
+          comm.flush_sends();
+        } else {
+          const RequestId r1 = comm.irecv(0, 1);
+          const RequestId r2 = comm.irecv(0, 2);
+          const RequestId r3 = comm.irecv(0, 3);
+          const RequestId ids[] = {r1, r2, r3};
+          comm.wait_all(ids);
+          EXPECT_EQ(str_of(comm.take_payload(r1)), "small-1");
+          EXPECT_EQ(str_of(comm.take_payload(r2)), big);
+          EXPECT_EQ(str_of(comm.take_payload(r3)), "small-2");
+        }
+      },
+      &counters);
+  hw::PerfCounters sum;
+  for (const auto& c : counters) sum.merge(c);
+  EXPECT_EQ(sum.msgs_rendezvous, 1u);
+  EXPECT_EQ(sum.agg_msgs_packed, 2u);
+}
+
+TEST(CommAgg, IsendMultiCoalescesWholeBurst) {
+  std::vector<hw::PerfCounters> counters;
+  with_agg_ranks(
+      3, AggSpec::parse("on"),
+      [](Comm& comm, int rank) {
+        if (rank == 0) {
+          std::vector<Comm::SendDesc> descs;
+          for (int dst : {1, 2, 1, 2}) {
+            Comm::SendDesc d;
+            d.dst = dst;
+            d.tag = 5;
+            d.payload = bytes_of("to" + std::to_string(dst));
+            descs.push_back(std::move(d));
+          }
+          std::vector<RequestId> ids;
+          comm.isend_multi(descs, &ids);
+          ASSERT_EQ(ids.size(), 4u);
+          comm.wait_all(ids);
+        } else {
+          for (int i = 0; i < 2; ++i) {
+            const RequestId r = comm.irecv(0, 5);
+            comm.wait(r);
+            EXPECT_EQ(str_of(comm.take_payload(r)),
+                      "to" + std::to_string(rank));
+          }
+        }
+      },
+      &counters);
+  hw::PerfCounters sum;
+  for (const auto& c : counters) sum.merge(c);
+  EXPECT_EQ(sum.agg_msgs_packed, 4u);
+  EXPECT_EQ(sum.agg_flushes, 2u);  // one aggregate per destination
+}
+
+TEST(CommAgg, ResetRequestsFlushesOpenBuffers) {
+  // A buffered send completes at append time (MPI_Bsend semantics); the
+  // sender may reset its request table before the flush happened. The
+  // reset must push the buffered data onto the wire, not strand it.
+  with_agg_ranks(2, AggSpec::parse("on"), [](Comm& comm, int rank) {
+    if (rank == 0) {
+      const RequestId s = comm.isend(1, 9, bytes_of("pre-reset"));
+      EXPECT_TRUE(comm.test(s));  // buffered: complete immediately
+      comm.reset_requests();
+      comm.barrier();
+    } else {
+      const RequestId r = comm.irecv(0, 9);
+      comm.wait(r);
+      EXPECT_EQ(str_of(comm.take_payload(r)), "pre-reset");
+      comm.reset_requests();
+      comm.barrier();
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// match_visible compaction (the O(n^2) mid-vector erase fix): consuming
+// messages from the middle of a large mailbox must preserve arrival order
+// for the survivors.
+
+TEST(CommAgg, ManyPendingMessagesMatchInOrderAfterPartialConsumption) {
+  constexpr int kMsgs = 64;
+  with_agg_ranks(2, AggSpec{}, [](Comm& comm, int rank) {
+    if (rank == 0) {
+      // Interleave two tags so matching one tag erases from the middle
+      // of the visible box repeatedly.
+      for (int i = 0; i < kMsgs; ++i) {
+        comm.isend(1, 1, bytes_of("odd" + std::to_string(i)));
+        comm.isend(1, 2, bytes_of("evn" + std::to_string(i)));
+      }
+      comm.barrier();
+    } else {
+      comm.barrier();  // everything is already in the mailbox
+      // Drain tag 2 first (erasing every other message), then tag 1; both
+      // must come out in send order.
+      for (int i = 0; i < kMsgs; ++i) {
+        const RequestId r = comm.irecv(0, 2);
+        comm.wait(r);
+        EXPECT_EQ(str_of(comm.take_payload(r)), "evn" + std::to_string(i));
+      }
+      for (int i = 0; i < kMsgs; ++i) {
+        const RequestId r = comm.irecv(0, 1);
+        comm.wait(r);
+        EXPECT_EQ(str_of(comm.take_payload(r)), "odd" + std::to_string(i));
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Fault shared fate: one fault roll per aggregate, all subs hit together,
+// and retransmits recover each sub individually.
+
+TEST(CommAgg, LossAndDelayShareAggregateFateAndRecover) {
+  const fault::FaultPlan plan = fault::FaultPlan::parse(
+      "msg_loss:p=0.4,msg_delay:p=0.3:factor=10", 7);
+  const hw::CostModel cost(machine());
+  Network net(2, cost);
+  net.set_fault_plan(&plan);
+  std::vector<hw::PerfCounters> counters(2);
+  sim::run_ranks(2, [&](sim::Coordinator& coord, int rank) {
+    Comm comm(net, coord, rank, &counters[rank]);
+    comm.set_agg(AggSpec::parse("on"));
+    comm.set_retransmit(true);
+    constexpr int kRounds = 12;
+    if (rank == 0) {
+      for (int i = 0; i < kRounds; ++i) {
+        std::vector<RequestId> ids;
+        ids.push_back(comm.isend(1, 1, bytes_of("x" + std::to_string(i))));
+        ids.push_back(comm.isend(1, 2, bytes_of("y" + std::to_string(i))));
+        comm.wait_all(ids);
+      }
+      comm.barrier();
+    } else {
+      for (int i = 0; i < kRounds; ++i) {
+        const RequestId rx = comm.irecv(0, 1);
+        const RequestId ry = comm.irecv(0, 2);
+        const RequestId ids[] = {rx, ry};
+        comm.wait_all(ids);
+        EXPECT_EQ(str_of(comm.take_payload(rx)), "x" + std::to_string(i));
+        EXPECT_EQ(str_of(comm.take_payload(ry)), "y" + std::to_string(i));
+      }
+      comm.barrier();
+    }
+  });
+  hw::PerfCounters sum;
+  for (const auto& c : counters) sum.merge(c);
+  EXPECT_GT(sum.fault_injected, 0u);
+  EXPECT_GT(sum.agg_msgs_packed, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: numerics and virtual comm counters with aggregation on/off.
+
+runtime::RunConfig e2e_config() {
+  runtime::RunConfig config;
+  config.problem = runtime::tiny_problem({2, 2, 2}, {8, 8, 8});
+  config.nranks = 4;
+  config.timesteps = 3;
+  return config;
+}
+
+TEST(CommAggE2E, NumericsBitEqualAcrossVariants) {
+  // The aggregation layer must be invisible to the application: identical
+  // verification metrics (bitwise doubles) with aggregation on or off,
+  // for every Table IV variant class exercised in CI equivalence runs.
+  for (const std::string variant :
+       {"host.sync", "acc.sync", "acc_simd.sync", "acc.async",
+        "acc_simd.async"}) {
+    runtime::RunConfig off = e2e_config();
+    off.variant = runtime::variant_by_name(variant);
+    const runtime::RunResult a =
+        runtime::run_simulation(off, apps::burgers::BurgersApp());
+
+    runtime::RunConfig on = off;
+    on.comm_agg = AggSpec::parse("on");
+    const runtime::RunResult b =
+        runtime::run_simulation(on, apps::burgers::BurgersApp());
+
+    ASSERT_EQ(a.ranks.size(), b.ranks.size());
+    for (std::size_t r = 0; r < a.ranks.size(); ++r)
+      EXPECT_EQ(a.ranks[r].metrics, b.ranks[r].metrics)
+          << variant << " rank " << r;
+    // Same logical message stream, fewer MPI posts.
+    const hw::PerfCounters ca = a.merged_counters();
+    const hw::PerfCounters cb = b.merged_counters();
+    EXPECT_EQ(ca.messages_sent, cb.messages_sent) << variant;
+    EXPECT_LT(cb.mpi_posts, ca.mpi_posts) << variant;
+    EXPECT_GT(cb.agg_msgs_packed, 0u) << variant;
+  }
+}
+
+TEST(CommAggE2E, FaultedRunStaysBitEqualWithAggregation) {
+  runtime::RunConfig clean_cfg = e2e_config();
+  clean_cfg.variant = runtime::variant_by_name("acc.async");
+  const runtime::RunResult clean =
+      runtime::run_simulation(clean_cfg, apps::burgers::BurgersApp());
+
+  runtime::RunConfig cfg = clean_cfg;
+  cfg.comm_agg = AggSpec::parse("on");
+  cfg.faults =
+      fault::FaultPlan::parse("msg_loss:p=0.2,msg_delay:p=0.2:factor=10", 13);
+  const runtime::RunResult faulted =
+      runtime::run_simulation(cfg, apps::burgers::BurgersApp());
+
+  EXPECT_GT(faulted.merged_counters().fault_injected, 0u);
+  ASSERT_EQ(clean.ranks.size(), faulted.ranks.size());
+  for (std::size_t r = 0; r < clean.ranks.size(); ++r)
+    EXPECT_EQ(clean.ranks[r].metrics, faulted.ranks[r].metrics)
+        << "rank " << r;
+}
+
+TEST(CommAggE2E, SerialAndParallelCoordinatorsBitEqualWithAggregation) {
+  runtime::RunConfig cfg = e2e_config();
+  cfg.variant = runtime::variant_by_name("acc_simd.async");
+  cfg.comm_agg = AggSpec::parse("on");
+  const runtime::RunResult serial =
+      runtime::run_simulation(cfg, apps::burgers::BurgersApp());
+  cfg.coordinator = sim::CoordinatorSpec::parse("parallel");
+  const runtime::RunResult parallel =
+      runtime::run_simulation(cfg, apps::burgers::BurgersApp());
+  EXPECT_TRUE(parallel.coordinator_fallback.empty());
+
+  ASSERT_EQ(serial.ranks.size(), parallel.ranks.size());
+  for (std::size_t r = 0; r < serial.ranks.size(); ++r) {
+    EXPECT_EQ(serial.ranks[r].metrics, parallel.ranks[r].metrics);
+    EXPECT_EQ(serial.ranks[r].step_walls, parallel.ranks[r].step_walls);
+  }
+}
+
+}  // namespace
+}  // namespace usw::comm

@@ -134,7 +134,7 @@ TEST_F(GraphFixture, TagsAreUniquePerStepAndDifferAcrossSteps) {
       EXPECT_TRUE(seen.insert({sc.peer_rank, sc.tag(3)}).second)
           << "duplicate tag " << sc.tag(3);
       EXPECT_NE(sc.tag(3), sc.tag(4));
-      EXPECT_LT(sc.tag(15), 1 << 28);  // below the collective tag space
+      EXPECT_LT(sc.tag(15), 1 << 30);  // below the collective tag space
       EXPECT_GE(sc.tag(0), 0);
     };
     for (const auto& sc : cg.initial_sends) check(sc);
