@@ -92,6 +92,20 @@ void print_help() {
       "                                Numerics/archives are bit-equal to\n"
       "                                --comm-agg=off; only virtual comm\n"
       "                                time moves (default off)\n"
+      "  --comm-progress=inline|engine[:interval=US]\n"
+      "                                message progress driver: inline\n"
+      "                                piggybacks on test/flush calls (the\n"
+      "                                historical behavior); engine services\n"
+      "                                aggregate-buffer age deadlines,\n"
+      "                                rendezvous handshakes and lost-send\n"
+      "                                retransmits at a deterministic\n"
+      "                                virtual-time cadence of US\n"
+      "                                microseconds (default: cost-model\n"
+      "                                flush latency), with a dedicated\n"
+      "                                host progress thread per rank under\n"
+      "                                --coordinator=parallel. Numerics are\n"
+      "                                bit-equal either way; only virtual\n"
+      "                                comm time moves (default inline)\n"
       "  --timing-only                 skip field allocation (big problems)\n"
       "  --partition=block|roundrobin|cost\n"
       "  --cpe-groups=N  --async-dma  --packed-tiles\n"
@@ -214,7 +228,7 @@ int main(int argc, char** argv) {
     std::printf("%s\n", build_info_line().c_str());
     std::printf("features: backends=serial,threads coordinators=serial,parallel "
                 "schedule=fuzz,record,replay diagnostics=flight,watchdog,stream "
-                "comm=agg,rendezvous\n");
+                "comm=agg,rendezvous,progress-engine\n");
     return 0;
   }
   try {
@@ -233,6 +247,8 @@ int main(int argc, char** argv) {
     config.coordinator =
         sim::CoordinatorSpec::parse(opts.get("coordinator", "serial"));
     config.comm_agg = comm::AggSpec::parse(opts.get("comm-agg", "off"));
+    config.comm_progress =
+        comm::ProgressSpec::parse(opts.get("comm-progress", "inline"));
     config.nranks = static_cast<int>(get_int_min(opts, "ranks", 4, 1));
     config.timesteps = static_cast<int>(get_int_min(opts, "steps", 10, 0));
     config.storage = opts.get_bool("timing-only", false)
@@ -317,7 +333,11 @@ int main(int argc, char** argv) {
     // The aggregation policy rides along here too — it is part of the
     // configuration under comparison, not of the simulated results.
     const std::string agg_note =
-        config.comm_agg.enabled ? ", comm-agg " + config.comm_agg.describe() : "";
+        (config.comm_agg.enabled ? ", comm-agg " + config.comm_agg.describe()
+                                 : "") +
+        (config.comm_progress.engine
+             ? ", comm-progress " + config.comm_progress.describe()
+             : "");
     std::printf("uswsim: %s on %s (%d patches of %s), %d CGs, %d steps, %s, "
                 "%s backend, %s tiles, %s coordinator%s\n",
                 app->name().c_str(), config.problem.grid_size().to_string().c_str(),
@@ -384,6 +404,13 @@ int main(int argc, char** argv) {
       table.add_row({"agg flushes", std::to_string(sum.agg_flushes)});
       table.add_row({"agg bytes saved", std::to_string(sum.agg_bytes_saved)});
       table.add_row({"rendezvous sends", std::to_string(sum.msgs_rendezvous)});
+    }
+    if (config.comm_progress.engine) {
+      table.add_row({"progress polls", std::to_string(sum.progress_polls)});
+      table.add_row(
+          {"progress flushes", std::to_string(sum.progress_flushes_driven)});
+      table.add_row({"progress retransmits",
+                     std::to_string(sum.progress_retransmits_driven)});
     }
     if (!config.faults.empty()) {
       table.add_row({"faults injected", std::to_string(sum.fault_injected)});

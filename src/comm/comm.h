@@ -41,6 +41,33 @@
 // flush_sends() (schedulers call it after each halo burst), and as a
 // progress guarantee at the head of test/test_bulk and reset_requests.
 //
+// Progress engine (--comm-progress, see progress.h): in the default
+// `inline` mode all of the above progress piggybacks on application
+// test/flush calls. With a ProgressSpec installed via set_progress in
+// `engine` mode, the endpoint instead tracks explicit virtual-time
+// deadlines — the age of every non-empty coalescing buffer (bounded by
+// the progress interval), the completion of every deferred rendezvous
+// handshake, and the retransmit timeout of every lost send — and services
+// whatever is due (service_progress) at the head of test/test_bulk and
+// whenever the rank wakes from a wait. progress_due() folds the earliest
+// deadline into earliest_known_completion(), so waits always wake in time
+// to drive progress even when the application never tests the request
+// that needs it (the retransmit-stall bug class inline mode exhibits).
+// Engine mode also overlaps the rendezvous handshake with MPE work: the
+// RTS is posted for one mpi_post_overhead, the payload injects when the
+// handshake completes (a deadline), and the 30 µs round trip never blocks
+// the MPE. The scattered defensive flushes (scheduler burst boundaries,
+// isend_multi) are skipped under the engine, letting aggregates coalesce
+// across task boundaries until the size/count policy or the age deadline
+// flushes them. Under the parallel coordinator a real host-side progress
+// thread per rank performs the wait/service loop of wait_all between
+// window barriers: the rank thread hands it the grant via a strict
+// condition-variable handoff (the coordinator keys grants on the rank id,
+// not the host thread — see sim/coordinator.h), executes no virtual
+// operation while the progress thread holds it, and takes the grant back
+// when the wait completes, so the virtual operation sequence — and with
+// it the byte-equality contract — is identical with the thread on or off.
+//
 // Thread safety: the Network object is shared by all rank threads. Under
 // the serial coordinator only the token-holding rank touches it, with the
 // coordinator's mutex providing the happens-before edges. Under the
@@ -60,14 +87,18 @@
 // seq, which is why message faults force the serial coordinator.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "comm/agg.h"
+#include "comm/progress.h"
 #include "fault/fault.h"
 #include "hw/cost_model.h"
 #include "hw/perf_counters.h"
@@ -192,6 +223,9 @@ class Comm {
  public:
   Comm(Network& net, sim::Coordinator& coord, int rank,
        hw::PerfCounters* counters = nullptr);
+  ~Comm();
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
 
   int rank() const { return rank_; }
   int size() const { return net_.size(); }
@@ -201,6 +235,13 @@ class Comm {
   /// Sleeps (virtual time) until `wake`, or earlier if a message for this
   /// rank arrives first. kNever waits purely on arrivals.
   void wait_until_time(TimePs wake) { coord_.wait_until(rank_, wake); }
+
+  /// As above, for wakes derived from a shared-state scan (e.g. via
+  /// earliest_known_completion): `refresh` recomputes the scan and is
+  /// re-run at parallel window barriers (see sim/coordinator.h).
+  void wait_until_time(TimePs wake, const std::function<TimePs()>& refresh) {
+    coord_.wait_until(rank_, wake, refresh);
+  }
 
   /// Charges local MPE time (used by schedulers for their own overheads).
   void advance(TimePs dt) { coord_.advance(rank_, dt); }
@@ -215,6 +256,28 @@ class Comm {
   /// spec, since the seq-space stride is keyed on it.
   void set_agg(const AggSpec& spec);
   const AggSpec& agg() const { return agg_; }
+
+  /// Installs the progress policy (validates it first). Must be called
+  /// before any send is posted. In engine mode this also resolves the
+  /// service interval (explicit or cost-model default) and, under the
+  /// parallel coordinator, starts the host-side progress thread that runs
+  /// wait_all's wait/service loop on this rank's behalf.
+  void set_progress(const ProgressSpec& spec);
+  const ProgressSpec& progress() const { return progress_; }
+
+  /// Earliest virtual-time deadline the progress engine must service:
+  /// the oldest non-empty coalescing buffer's age bound, the earliest
+  /// deferred rendezvous handshake completion, and the earliest lost-send
+  /// retransmit timeout. kNever with the engine off or nothing pending.
+  /// Folded into earliest_known_completion() so waits wake in time.
+  TimePs progress_due() const;
+
+  /// Services every progress deadline at or before now(): flushes aged
+  /// buffers, injects completed rendezvous handshakes, retransmits
+  /// timed-out lost sends. No-op with the engine off or nothing due.
+  /// Runs at the head of test/test_bulk (replacing inline mode's
+  /// unconditional flush) and after every wait wake.
+  void service_progress();
 
   /// Nonblocking send with payload (functional mode). The data is copied
   /// at post time (eager protocol).
@@ -343,6 +406,10 @@ class Comm {
     TimePs complete_stamp = 0;
     bool done = false;
     bool lost = false;      ///< send dropped by fault injection, not yet resent
+    /// Engine-mode rendezvous send whose handshake is still in flight:
+    /// complete_stamp holds the handshake-ready deadline and the payload
+    /// has not been injected yet (rdv_pending_ owns it).
+    bool rdv_pending = false;
     int attempts = 0;       ///< transmissions so far (sends under faults)
     std::uint64_t msg_seq = 0;  ///< wire seq, reused verbatim on retransmit
     std::vector<std::byte> payload;  ///< recv data; sends: retransmit copy
@@ -356,6 +423,13 @@ class Comm {
   /// Posts one wire message now (the pre-aggregation post_send).
   RequestId post_direct(int dst, int tag, std::uint64_t bytes,
                         std::vector<std::byte> payload, Protocol proto);
+
+  /// Engine-mode rendezvous: posts the RTS (one mpi_post_overhead, wire
+  /// seq reserved now for program order) and defers the payload injection
+  /// to the handshake-ready deadline, which service_progress drives. The
+  /// 30 µs handshake overlaps MPE work instead of blocking it.
+  RequestId post_rendezvous_deferred(int dst, int tag, std::uint64_t bytes,
+                                     std::vector<std::byte> payload);
 
   /// Appends a small send to `dst`'s coalescing buffer (request completes
   /// per buffered-send semantics; wire seq assigned at flush).
@@ -402,7 +476,44 @@ class Comm {
   struct AggBuffer {
     std::vector<AggSub> subs;
     std::uint64_t bytes = 0;  ///< buffered payload + sub-header bytes
+    /// Engine mode: flush deadline = time of the first append into the
+    /// empty buffer + the progress interval. kNever while empty.
+    TimePs deadline = sim::kNever;
   };
+
+  /// An engine-mode rendezvous send whose handshake is in flight.
+  struct RdvPending {
+    std::size_t req = 0;  ///< request-table slot of the logical send
+    TimePs ready = 0;     ///< handshake completes; payload may inject
+    std::vector<std::byte> payload;
+  };
+
+  /// The actual wait/service loop of wait_all (runs on the rank thread,
+  /// or on the progress thread under the parallel coordinator).
+  void wait_all_impl(std::span<const RequestId> ids);
+
+  /// Injects a rendezvous payload whose handshake has completed.
+  void inject_rendezvous(RdvPending&& pending);
+
+  /// Recomputes the cached minimum agg-buffer deadline after flushes.
+  void recompute_agg_deadline();
+
+  /// Host-side progress thread (engine mode + parallel coordinator): runs
+  /// wait_all_impl on the rank's behalf via a strict cv handoff — the
+  /// rank thread blocks on `cv` and performs no virtual operation while
+  /// `job` is outstanding, so exactly one host thread ever acts as this
+  /// rank and the mutex provides the happens-before edges between them.
+  struct ProgressThread {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool job = false;   ///< a wait job has been handed over
+    bool done = false;  ///< the wait job completed (or threw)
+    bool exit = false;
+    std::span<const RequestId> ids;
+    std::exception_ptr error;
+    std::thread thread;
+  };
+  void progress_thread_main();
 
   Network& net_;
   sim::Coordinator& coord_;
@@ -417,6 +528,18 @@ class Comm {
   std::uint64_t rdv_threshold_bytes_ = 0;  ///< resolved at set_agg
   std::vector<AggBuffer> agg_bufs_;        ///< one per destination rank
   std::vector<char> match_consumed_;       ///< match_visible scratch
+  ProgressSpec progress_;
+  TimePs progress_interval_ = 0;  ///< resolved at set_progress
+  /// Cached minimum over the non-empty buffers' deadlines. Conservative:
+  /// a policy flush can leave it pointing at an already-empty buffer, in
+  /// which case service_progress finds nothing due and recomputes.
+  TimePs agg_deadline_min_ = sim::kNever;
+  /// Cached minimum lost-send retransmit deadline, same contract.
+  TimePs lost_deadline_min_ = sim::kNever;
+  /// Deferred rendezvous sends in post order (ready stamps are monotone:
+  /// each is its post time plus the constant handshake cost).
+  std::vector<RdvPending> rdv_pending_;
+  std::unique_ptr<ProgressThread> progress_thread_;
 };
 
 }  // namespace usw::comm

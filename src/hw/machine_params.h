@@ -130,6 +130,14 @@ struct MachineParams {
   /// pays before its payload moves; eager messages skip it but pay the
   /// bounce-buffer copy at pack_bw_bytes_per_s instead.
   TimePs comm_rdv_handshake = 30 * kMicrosecond;
+  /// Default service cadence of the dedicated progress engine
+  /// (--comm-progress=engine): the maximum age a non-empty coalescing
+  /// buffer may reach before the engine flushes it. Set to the latency one
+  /// aggregate flush adds to a buffered message (post overhead + MPI
+  /// software latency + wire latency), so engine-deferred flushes never
+  /// delay a message by more than one flush already costs.
+  TimePs comm_progress_interval =
+      mpi_post_overhead + mpi_sw_latency + net_latency;
 
   /// Theoretical peak of one CG in Gflop/s (MPE + CPE cluster), the
   /// denominator of Fig 10.

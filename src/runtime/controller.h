@@ -14,6 +14,7 @@
 #include "athread/athread.h"
 #include "check/check.h"
 #include "comm/agg.h"
+#include "comm/progress.h"
 #include "fault/fault.h"
 #include "grid/partition.h"
 #include "hw/machine_params.h"
@@ -74,6 +75,15 @@ struct RunConfig {
   /// serial/parallel coordinator byte-equality contract holds with it
   /// enabled; only virtual comm timing (and the comm.agg.* metrics) move.
   comm::AggSpec comm_agg;
+
+  /// Communication progress mode (uswsim --comm-progress, see
+  /// comm/progress.h). Inline (default) reproduces the historical
+  /// behavior: progress piggybacks on test/flush calls. The engine
+  /// services aggregate-buffer age deadlines, deferred rendezvous
+  /// handshakes, and lost-send retransmit deadlines at deterministic
+  /// virtual-time intervals instead; numerics stay bit-equal, virtual
+  /// comm timing (and comm.progress.* metrics) move.
+  comm::ProgressSpec comm_progress;
 
   // Future-work options (paper Sec IX), orthogonal to the variant:
   int cpe_groups = 1;         ///< concurrent kernels per CG (async modes)

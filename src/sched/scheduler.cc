@@ -192,7 +192,10 @@ void Scheduler::post_initial_sends(task::TaskContext& ctx) {
   // With aggregation on this burst coalesces into (at most) one aggregate
   // per neighbor, posted by the flush.
   for (const task::ExtComm& sc : graph_.initial_sends) post_send(ctx, sc);
-  comm_.flush_sends();
+  // With the progress engine on, the buffers keep coalescing across task
+  // boundaries; the engine's age deadline (or the size/count policy)
+  // flushes them instead of this defensive burst-boundary flush.
+  if (!comm_.progress().engine) comm_.flush_sends();
 }
 
 int Scheduler::pick_ready(int want_stencil) {
@@ -567,7 +570,7 @@ void Scheduler::on_finished(task::TaskContext& ctx, int dt_index) {
   // Sec V-C 3(b)i: post nonblocking sends for the completed task — one
   // aggregate per neighbor when aggregation is on.
   for (const task::ExtComm& sc : dt.sends) post_send(ctx, sc, dt_index);
-  comm_.flush_sends();
+  if (!comm_.progress().engine) comm_.flush_sends();
   for (int succ : dt.successors) {
     DtState& ss = state_[static_cast<std::size_t>(succ)];
     USW_ASSERT(ss.pending_preds > 0);
@@ -652,15 +655,27 @@ bool Scheduler::progress_comm(task::TaskContext& ctx) {
 }
 
 void Scheduler::idle_wait() {
-  TimePs wake = cluster_.earliest_completion();
+  const TimePs cluster_wake = cluster_.earliest_completion();
   std::vector<comm::RequestId> all;
   all.insert(all.end(), open_recvs_.begin(), open_recvs_.end());
   all.insert(all.end(), open_sends_.begin(), open_sends_.end());
-  wake = std::min(wake, comm_.earliest_known_completion(all));
+  // The comm part of the wake scans shared mailbox state; the refresh lets
+  // parallel window barriers recompute it (the cluster part is local and
+  // fixed while parked). See sim/coordinator.h.
+  const std::function<TimePs()> refresh = [this, cluster_wake, &all] {
+    return std::min(cluster_wake, comm_.earliest_known_completion(all));
+  };
+  const TimePs wake =
+      std::min(cluster_wake, comm_.earliest_known_completion(all));
   const TimePs before = comm_.now();
   trace_.record(before, sim::EventKind::kWaitBegin, "idle",
                 sim::EventIds{step_, -1, -1, -1, -1, -1, 0});
-  comm_.wait_until_time(wake);
+  comm_.wait_until_time(wake, refresh);
+  // The wake may be a progress-engine deadline (folded into
+  // earliest_known_completion above). Service it here: with both open
+  // lists empty, progress_comm() early-returns without reaching
+  // test_bulk, so nothing else would drive the engine.
+  comm_.service_progress();
   counters_.wait_time += comm_.now() - before;
   trace_.record(comm_.now(), sim::EventKind::kWaitEnd, "idle",
                 sim::EventIds{step_, -1, -1, -1, -1, -1, 0});

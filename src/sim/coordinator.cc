@@ -169,6 +169,16 @@ void Coordinator::gate(int rank) {
 }
 
 void Coordinator::wait_until(int rank, TimePs wake) {
+  wait_until_impl(rank, wake, nullptr);
+}
+
+void Coordinator::wait_until(int rank, TimePs wake,
+                             const std::function<TimePs()>& refresh) {
+  wait_until_impl(rank, wake, &refresh);
+}
+
+void Coordinator::wait_until_impl(int rank, TimePs wake,
+                                  const std::function<TimePs()>* refresh) {
   if (par_) {
     RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
     if (!cancelled_.load(std::memory_order_relaxed)) {
@@ -195,7 +205,7 @@ void Coordinator::wait_until(int rank, TimePs wake) {
         slot.seg_start = w;
         return;
       }
-      park_and_block(rank, State::kWaiting, w);
+      park_and_block(rank, State::kWaiting, w, refresh);
       return;
     }
     park_and_block(rank, State::kWaiting, wake);
@@ -480,11 +490,20 @@ void Coordinator::open_window_locked() {
   for (int r = 0; r < size(); ++r) {
     RankSlot& slot = ranks_[static_cast<std::size_t>(r)];
     switch (slot.state) {
-      case State::kWaiting:
-        slot.wake = resolve_notifies(
-            r, slot, slot.clock.load(std::memory_order_relaxed), slot.wake,
-            true);
+      case State::kWaiting: {
+        const TimePs clock = slot.clock.load(std::memory_order_relaxed);
+        slot.wake = resolve_notifies(r, slot, clock, slot.wake, true);
+        // Scan-derived wakes are recomputed here, where every push of the
+        // closed window is mutex-ordered before us: an in-window scan can
+        // race a concurrent sender whose serial position precedes it, and
+        // the notify fold above intentionally drops that class of record
+        // (see the 3-arg wait_until). Clamped to the park clock — serial
+        // would spin at the clock, never park below it.
+        if (slot.wake_fn != nullptr)
+          slot.wake =
+              std::min(slot.wake, std::max((*slot.wake_fn)(), clock));
         break;
+      }
       case State::kReady:
         resolve_notifies(r, slot,
                          slot.clock.load(std::memory_order_relaxed), kNever,
@@ -574,15 +593,23 @@ void Coordinator::release_locked() {
   }
 }
 
-void Coordinator::park_and_block(int rank, State state, TimePs wake) {
+void Coordinator::park_and_block(int rank, State state, TimePs wake,
+                                 const std::function<TimePs()>* wake_fn) {
   std::unique_lock<std::mutex> lk(lock_);
   if (cancelled_.load(std::memory_order_relaxed)) throw Cancelled(cancel_reason_);
   RankSlot& slot = ranks_.at(static_cast<std::size_t>(rank));
   USW_ASSERT_MSG(slot.state == State::kRunning, "parking a rank without a grant");
   slot.state = state;
   slot.wake = wake;
+  slot.wake_fn = wake_fn;
   release_locked();
-  block_until_running_locked(lk, rank);
+  try {
+    block_until_running_locked(lk, rank);
+  } catch (...) {
+    slot.wake_fn = nullptr;  // wake_fn points into this (unwinding) frame
+    throw;
+  }
+  slot.wake_fn = nullptr;
 }
 
 void Coordinator::block_until_running_locked(std::unique_lock<std::mutex>& lk, int rank) {

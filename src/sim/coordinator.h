@@ -79,6 +79,18 @@
 // conservative invariant therefore holds unchanged: all virtual-time
 // mutation still happens on granted rank threads.
 //
+// Rank-id grant contract (relied on by the comm progress thread): grants,
+// gates, waits and clocks are keyed on the integer rank id, never on a
+// host thread identity — no API here inspects std::this_thread. A rank may
+// therefore be DRIVEN by more than one host thread over its lifetime, as
+// long as exactly one of them performs virtual operations for that rank at
+// any moment and the handoffs establish happens-before (a mutex). Comm's
+// host-side progress thread (--comm-progress=engine under kParallel) uses
+// exactly this: while the rank's own thread blocks in wait_all, the
+// progress thread takes over the rank's grant, runs the identical
+// test/service/wait sequence, and hands back — the virtual-operation
+// sequence, and hence every simulated outcome, is unchanged.
+//
 // Rank states:
 //   kReady    - wants to run; eligible at its clock.
 //   kRunning  - granted (serial: at most one; parallel: up to the window).
@@ -207,6 +219,22 @@ class Coordinator {
   /// external notification.
   void wait_until(int rank, TimePs wake);
 
+  /// Like wait_until, but for wakes derived from a scan of shared state
+  /// (e.g. mailbox arrival stamps): `refresh` recomputes that scan. In
+  /// parallel mode a scan made inside a window can miss a concurrent
+  /// sender's push whose serial position precedes it (there is no
+  /// real-time ordering between in-window segments), and the pending-
+  /// notify fold deliberately drops records positioned before the
+  /// target's segment on the assumption the scan covered them. The
+  /// coordinator therefore re-runs `refresh` at every window barrier
+  /// while the rank is parked — all pushes are mutex-ordered by then —
+  /// and folds the result into the wake, restoring exactly the serial
+  /// scan. `refresh` must not call back into the Coordinator (it runs
+  /// under the coordinator lock, on the barrier thread) and must stay
+  /// valid until this call returns; the serial path ignores it (its scan
+  /// is authoritative by construction).
+  void wait_until(int rank, TimePs wake, const std::function<TimePs()>& refresh);
+
   /// Reports an external event for `rank` (e.g. message arrival) stamped at
   /// virtual time `stamp`. Callable from any granted rank. `src` is the
   /// posting rank; parallel mode requires it (the record's serial-order
@@ -277,6 +305,11 @@ class Coordinator {
     std::vector<NotifyRec> pending;
     std::atomic<bool> has_notify{false};
     std::vector<NotifyRec> retained;
+    /// Parallel mode: authoritative wake recompute for the current
+    /// kWaiting park (see the 3-arg wait_until). Points into the parked
+    /// caller's frame; set under lock_ at park, cleared at grant. Null
+    /// when the park's wake is a fixed local event.
+    const std::function<TimePs()>* wake_fn = nullptr;
     std::condition_variable cv;
   };
 
@@ -297,8 +330,13 @@ class Coordinator {
   void release_locked();
   /// Parks a granted rank in `state` (kReady or kWaiting, with `wake`) and
   /// blocks until the next grant. Parallel-mode slow path of gate() and
-  /// wait_until().
-  void park_and_block(int rank, State state, TimePs wake);
+  /// wait_until(). `wake_fn` (may be null) is the barrier-time wake
+  /// recompute for scan-derived wakes.
+  void park_and_block(int rank, State state, TimePs wake,
+                      const std::function<TimePs()>* wake_fn = nullptr);
+  /// Shared body of the wait_until overloads.
+  void wait_until_impl(int rank, TimePs wake,
+                       const std::function<TimePs()>* refresh);
   /// Drains `rank`'s notify records and resolves them with the serial
   /// grant-order rule (header comment): records before the current
   /// segment's start are dropped, records before the (progressively
